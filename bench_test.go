@@ -1,0 +1,297 @@
+package vebo
+
+// One benchmark per paper table/figure (regenerating it at reduced scale via
+// the internal/bench harness), plus micro-benchmarks of the core pipeline
+// stages and ablation benchmarks for the design choices DESIGN.md §4 calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks write their report to the benchmark log on -v.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphgrind"
+	"repro/internal/layout"
+	"repro/internal/numa"
+	"repro/internal/order"
+)
+
+// benchConfig is the reduced-scale configuration used by the per-experiment
+// benchmarks; the full-scale runs are done by cmd/bench.
+func benchConfig() bench.Config {
+	return bench.Config{
+		Scale:      0.05,
+		Seed:       42,
+		Partitions: 48,
+		Topology:   numa.Topology{Sockets: 4, ThreadsPerSocket: 2},
+		Out:        io.Discard,
+	}
+}
+
+func benchmarkExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(name, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-table/figure experiment benchmarks (DESIGN.md §3 index).
+
+func BenchmarkFig1PartitionTimes(b *testing.B)       { benchmarkExperiment(b, "fig1") }
+func BenchmarkTable1Characterization(b *testing.B)   { benchmarkExperiment(b, "table1") }
+func BenchmarkTable3Runtimes(b *testing.B)           { benchmarkExperiment(b, "table3") }
+func BenchmarkTable4SparseFrontier(b *testing.B)     { benchmarkExperiment(b, "table4") }
+func BenchmarkFig4Microarchitecture(b *testing.B)    { benchmarkExperiment(b, "fig4") }
+func BenchmarkFig5RandomPermutation(b *testing.B)    { benchmarkExperiment(b, "fig5") }
+func BenchmarkTable5VertexVsEdgeMap(b *testing.B)    { benchmarkExperiment(b, "table5") }
+func BenchmarkFig6SpaceFillingCurves(b *testing.B)   { benchmarkExperiment(b, "fig6") }
+func BenchmarkTable6ReorderingOverhead(b *testing.B) { benchmarkExperiment(b, "table6") }
+
+// Micro-benchmarks of the pipeline stages.
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		N: 50_000, S: 1.0, MaxDegree: 1000, ZeroInFrac: 0.14,
+		SourceSkew: 0.6, IDCorrelation: 0.5, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkVEBOReorder(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Reorder(g, 384, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumVertices()), "vertices")
+}
+
+func BenchmarkRCMReorder(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.RCM(g)
+	}
+}
+
+func BenchmarkGorderReorder(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.Gorder(g, order.GorderConfig{MaxSiblingDegree: 64})
+	}
+}
+
+func BenchmarkApplyPermutation(b *testing.B) {
+	g := benchGraph(b)
+	r, err := core.Reorder(g, 384, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Apply(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHilbertCOOBuild(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.Build(g, layout.HilbertOrder); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSRCOOBuild(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.Build(g, layout.CSROrder); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankIteration(b *testing.B) {
+	g := benchGraph(b)
+	for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+		b.Run(sys.String(), func(b *testing.B) {
+			eng, err := NewEngine(sys, g, EngineOptions{Partitions: 384})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				PageRank(eng, 1)
+			}
+			b.ReportMetric(float64(g.NumEdges())/float64(b.Elapsed().Seconds())*float64(b.N)/1e6, "Medges/s")
+		})
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b)
+	eng, err := NewEngine(GraphGrind, g, EngineOptions{Partitions: 384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := pickHighDegree(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(eng, root)
+	}
+}
+
+func pickHighDegree(g *graph.Graph) graph.VertexID {
+	var best graph.VertexID
+	var bd int64 = -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > bd {
+			bd = d
+			best = graph.VertexID(v)
+		}
+	}
+	return best
+}
+
+// Ablation benchmarks (DESIGN.md §4).
+
+// Ablation 1: min-heap vs linear arg-min in VEBO's greedy phases.
+func BenchmarkAblationArgMin(b *testing.B) {
+	g := benchGraph(b)
+	degrees := g.InDegrees()
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"heap", core.Options{}},
+		{"linear", core.Options{LinearArgMin: true}},
+	} {
+		for _, p := range []int{48, 384, 3072} {
+			b.Run(fmt.Sprintf("%s/P=%d", tc.name, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ReorderDegrees(degrees, p, tc.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Ablation 2: degree-block locality refinement on/off (cost of the extra
+// pass; balance is identical by construction).
+func BenchmarkAblationLocalityBlocks(b *testing.B) {
+	g := benchGraph(b)
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"blocks", core.Options{}},
+		{"plain", core.Options{DisableLocalityBlocks: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Reorder(g, 384, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 3: GraphGrind partition count sweep (the GraphGrind paper
+// recommends 384; the crossover between scheduling overhead and balance).
+func BenchmarkAblationPartitionCount(b *testing.B) {
+	g := benchGraph(b)
+	for _, p := range []int{48, 96, 192, 384, 768} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			eng, err := graphgrind.New(g, graphgrind.Config{
+				Engine:     engine.Config{Topology: numa.Default()},
+				Partitions: p,
+				Order:      layout.CSROrder,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var makespan int64
+			for i := 0; i < b.N; i++ {
+				eng.Metrics().Reset()
+				PageRank(eng, 1)
+				makespan = eng.Metrics().ModelTime
+			}
+			b.ReportMetric(float64(makespan), "model-units")
+		})
+	}
+}
+
+// Ablation 4: Hilbert vs CSR COO order under the GraphGrind dense traversal.
+func BenchmarkAblationCOOOrder(b *testing.B) {
+	g := benchGraph(b)
+	for _, o := range []layout.Order{layout.CSROrder, layout.HilbertOrder} {
+		b.Run(o.String(), func(b *testing.B) {
+			eng, err := graphgrind.New(g, graphgrind.Config{
+				Engine:     engine.Config{Topology: numa.Default()},
+				Partitions: 384,
+				Order:      o,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				PageRank(eng, 1)
+			}
+		})
+	}
+}
+
+// Ablation 5: direction-optimization sensitivity — force all-sparse vs
+// adaptive by exercising EdgeMap at different frontier densities.
+func BenchmarkAblationFrontierDensity(b *testing.B) {
+	g := benchGraph(b)
+	eng, err := NewEngine(Ligra, g, EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernel := engine.EdgeKernel{
+		Update:       func(s, d graph.VertexID, _ int32) bool { return false },
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool { return false },
+	}
+	for _, frac := range []int{1000, 100, 10, 1} {
+		b.Run(fmt.Sprintf("active=1/%d", frac), func(b *testing.B) {
+			var vs []graph.VertexID
+			for v := 0; v < g.NumVertices(); v += frac {
+				vs = append(vs, graph.VertexID(v))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := frontier.FromVertices(g, vs)
+				eng.EdgeMap(f, kernel)
+			}
+		})
+	}
+}

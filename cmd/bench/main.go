@@ -1,0 +1,41 @@
+// Command bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	bench -exp table3 -scale 0.2 -seed 42 -partitions 384
+//	bench -exp all
+//
+// See DESIGN.md §3 for the experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/numa"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bench.Experiments(), ", ")+", or all")
+	scale := flag.Float64("scale", 0.2, "graph scale factor (1.0 ≈ 10^5 vertices per graph)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	partitions := flag.Int("partitions", 384, "GraphGrind partition count")
+	sockets := flag.Int("sockets", 4, "modeled NUMA sockets")
+	threads := flag.Int("threads", 12, "modeled threads per socket")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:      *scale,
+		Seed:       *seed,
+		Partitions: *partitions,
+		Topology:   numa.Topology{Sockets: *sockets, ThreadsPerSocket: *threads},
+		Out:        os.Stdout,
+	}
+	if err := bench.Run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Command inspect characterizes a graph file and evaluates partitioning
+// balance, in the shape of the paper's Table I row:
+//
+//	inspect -p 384 graph.adj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func run() error {
+	parts := flag.Int("p", 384, "partitions for balance analysis")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: inspect [-p partitions] <graph.adj>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := graph.ReadAdjacency(f)
+	if err != nil {
+		return err
+	}
+	s := g.Characterize()
+	fmt.Printf("vertices:        %d\n", s.Vertices)
+	fmt.Printf("edges:           %d\n", s.Edges)
+	fmt.Printf("max in-degree:   %d\n", s.MaxInDegree)
+	fmt.Printf("max out-degree:  %d\n", s.MaxOutDegree)
+	fmt.Printf("zero in-degree:  %d (%.1f%%)\n", s.ZeroInDegree, s.ZeroInPercent)
+	fmt.Printf("zero out-degree: %d (%.1f%%)\n", s.ZeroOutDegree, s.ZeroOutPercent)
+
+	ps, err := partition.ByDestination(g, *parts)
+	if err != nil {
+		return err
+	}
+	sm := partition.Summarize(g, ps)
+	fmt.Printf("Algorithm 1 over %d partitions: edge spread %d (min %d max %d), vertex spread %d\n",
+		*parts, sm.EdgeSpread, sm.MinEdges, sm.MaxEdges, sm.VertexSpread)
+
+	r, err := core.Reorder(g, *parts, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("VEBO over %d partitions: Δ(n)=%d δ(n)=%d\n", *parts, r.EdgeImbalance(), r.VertexImbalance())
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Loadbalance reproduces the paper's motivating observation (Section II /
+// Figure 1) end to end: partition a skewed graph with the standard
+// edge-balancing heuristic (Algorithm 1) and show that, although edge counts
+// are balanced, the number of destination vertices per partition — and hence
+// processing time — varies wildly; then show VEBO collapsing the variation.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vebo "repro"
+)
+
+func main() {
+	g, err := vebo.Generate("twitter", 0.1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const partitions = 128
+
+	fmt.Println("standard edge-balanced partitioning (Algorithm 1) on the original order:")
+	report(g, nil, partitions)
+
+	res, err := vebo.Reorder(g, partitions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rg, err := res.Apply(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nVEBO reordering + its own partition boundaries:")
+	report(rg, res.Boundaries(), partitions)
+}
+
+// report partitions g (by Algorithm 1 when bounds is nil, else by the given
+// boundaries) and prints the per-partition edge and vertex spread.
+func report(g *vebo.Graph, bounds []int64, partitions int) {
+	edges := make([]int64, 0, partitions)
+	verts := make([]int64, 0, partitions)
+	if bounds == nil {
+		// Algorithm 1: greedy chunks of ~|E|/P in-edges.
+		avg := g.NumEdges() / int64(partitions)
+		var e, v int64
+		for d := 0; d < g.NumVertices(); d++ {
+			if e >= avg && avg > 0 && len(edges) < partitions-1 {
+				edges = append(edges, e)
+				verts = append(verts, v)
+				e, v = 0, 0
+			}
+			e += g.InDegree(vebo.VertexID(d))
+			v++
+		}
+		edges = append(edges, e)
+		verts = append(verts, v)
+	} else {
+		for i := 0; i+1 < len(bounds); i++ {
+			var e int64
+			for d := bounds[i]; d < bounds[i+1]; d++ {
+				e += g.InDegree(vebo.VertexID(d))
+			}
+			edges = append(edges, e)
+			verts = append(verts, bounds[i+1]-bounds[i])
+		}
+	}
+	eMin, eMax := minMax(edges)
+	vMin, vMax := minMax(verts)
+	fmt.Printf("  %d partitions: edges [%d..%d] (spread %d), vertices [%d..%d] (spread %d)\n",
+		len(edges), eMin, eMax, eMax-eMin, vMin, vMax, vMax-vMin)
+}
+
+func minMax(xs []int64) (lo, hi int64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,153 @@
+package vebo
+
+// Integration matrix: the full paper pipeline — generate → reorder →
+// partition → process — across every workload recipe, every framework model
+// and every algorithm, at tiny scale. Complements the per-package unit
+// tests by exercising the exact compositions the benchmark harness uses.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPipelineAllRecipesAllSystems(t *testing.T) {
+	for _, recipe := range gen.Recipes() {
+		recipe := recipe
+		t.Run(recipe.Name, func(t *testing.T) {
+			g, err := recipe.Build(0.02, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const P = 24
+			res, err := Reorder(g, P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rg, err := res.Apply(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graph.IsIsomorphicUnder(g, rg, res.Perm()) {
+				t.Fatal("reordered graph not isomorphic")
+			}
+			// balance sanity: never worse than a couple of max-degree units
+			if res.VertexImbalance() > 2 {
+				t.Errorf("δ(n) = %d", res.VertexImbalance())
+			}
+
+			root := res.Perm()[0]
+			want := algorithms.RefBFSDepths(rg, root)
+			wantPR := algorithms.RefPageRank(rg, 3)
+			for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+				opts := EngineOptions{Sockets: 2, ThreadsPerSocket: 2, Partitions: P}
+				if sys == GraphGrind {
+					opts.Bounds = res.Boundaries()
+				}
+				eng, err := NewEngine(sys, rg, opts)
+				if err != nil {
+					t.Fatalf("%v: %v", sys, err)
+				}
+				got := algorithms.Depths(BFS(eng, root), root)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%v: BFS depth mismatch at %d: %d vs %d", sys, v, got[v], want[v])
+					}
+				}
+				pr := PageRank(eng, 3)
+				for v := range wantPR {
+					if math.Abs(pr[v]-wantPR[v]) > 1e-9*math.Max(1, math.Abs(wantPR[v])) {
+						t.Fatalf("%v: PR mismatch at %d", sys, v)
+					}
+				}
+				// engine accounting sanity: model time accumulated and
+				// resettable
+				if eng.Metrics().ModelTime <= 0 {
+					t.Fatalf("%v: no model time accumulated", sys)
+				}
+				eng.Metrics().Reset()
+				if eng.Metrics().ModelTime != 0 {
+					t.Fatalf("%v: reset failed", sys)
+				}
+			}
+		})
+	}
+}
+
+func TestPipelineAllAlgorithmsAgreeAcrossEngines(t *testing.T) {
+	g, err := Generate("livejournal", 0.03, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := g.Transpose()
+	opts := EngineOptions{Sockets: 2, ThreadsPerSocket: 2, Partitions: 16}
+	type enginePair struct{ fwd, bwd Engine }
+	pairs := map[string]enginePair{}
+	for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+		fwd, err := NewEngine(sys, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwd, err := NewEngine(sys, gt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[sys.String()] = enginePair{fwd, bwd}
+	}
+	root := VertexID(1)
+	x := make([]float64, g.NumVertices())
+	prior := make([]float64, g.NumVertices())
+	for i := range x {
+		x[i] = float64(i%5) + 1
+		prior[i] = 0.01 * float64(i%11)
+	}
+
+	type result struct {
+		bfs  []int32
+		cc   []uint32
+		bf   []int64
+		spmv []float64
+		bc   []float64
+		prd  []float64
+		bp   []float64
+	}
+	results := map[string]result{}
+	for name, p := range pairs {
+		results[name] = result{
+			bfs:  algorithms.Depths(BFS(p.fwd, root), root),
+			cc:   CC(p.fwd),
+			bf:   BellmanFord(p.fwd, root),
+			spmv: SPMV(p.fwd, x),
+			bc:   BC(p.fwd, p.bwd, root),
+			prd:  PageRankDelta(p.fwd, 8, 1e-4),
+			bp:   BP(p.fwd, 4, prior),
+		}
+	}
+	ref := results["ligra"]
+	for name, r := range results {
+		for v := 0; v < g.NumVertices(); v++ {
+			if r.bfs[v] != ref.bfs[v] {
+				t.Fatalf("%s: BFS differs at %d", name, v)
+			}
+			if r.cc[v] != ref.cc[v] {
+				t.Fatalf("%s: CC differs at %d", name, v)
+			}
+			if r.bf[v] != ref.bf[v] {
+				t.Fatalf("%s: BF differs at %d", name, v)
+			}
+			for fname, pair := range map[string][2]float64{
+				"SPMV": {r.spmv[v], ref.spmv[v]},
+				"BC":   {r.bc[v], ref.bc[v]},
+				"PRD":  {r.prd[v], ref.prd[v]},
+				"BP":   {r.bp[v], ref.bp[v]},
+			} {
+				if math.Abs(pair[0]-pair[1]) > 1e-8*math.Max(1, math.Abs(pair[1])) {
+					t.Fatalf("%s: %s differs at %d: %g vs %g", name, fname, v, pair[0], pair[1])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package algorithms implements the paper's eight benchmark algorithms
+// (Table II) against the engine.Engine interface, so each runs unchanged on
+// the Ligra, Polymer and GraphGrind models:
+//
+//	BC    betweenness centrality (vertex-oriented, medium/sparse frontiers)
+//	CC    connected components by label propagation (edge-oriented)
+//	PR    PageRank, power method, fixed iterations (edge-oriented, dense)
+//	BFS   breadth-first search (vertex-oriented, medium/sparse)
+//	PRD   PageRank with delta updates (edge-oriented, shrinking frontier)
+//	SPMV  sparse matrix-vector product, one iteration (edge-oriented, dense)
+//	BF    Bellman-Ford single-source shortest paths (vertex-oriented)
+//	BP    belief propagation, fixed iterations (edge-oriented, dense)
+//
+// Push-mode (sparse) updates use the lock-free primitives in
+// internal/atomicf; pull-mode (dense) updates rely on the engines'
+// guarantee that a single worker owns each destination.
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/atomicf"
+	"repro/internal/engine"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+const damping = 0.85
+
+// PageRank runs the power method for iters iterations and returns the rank
+// vector. Matches the paper's PR configuration (10 iterations).
+func PageRank(e engine.Engine, iters int) []float64 {
+	g := e.Graph()
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	contrib := make([]float64, n)
+	acc := make([]uint64, n) // float64 bits, atomically accumulated in push
+	for v := 0; v < n; v++ {
+		rank[v] = 1.0 / float64(n)
+	}
+	kernel := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, _ int32) bool {
+			acc[d] = atomicf.F64Bits(atomicf.F64From(acc[d]) + contrib[s])
+			return true
+		},
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool {
+			atomicf.AddF64(&acc[d], contrib[s])
+			return true
+		},
+	}
+	all := frontier.All(g)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			if od := g.OutDegree(graph.VertexID(v)); od > 0 {
+				contrib[v] = rank[v] / float64(od)
+			} else {
+				contrib[v] = 0
+			}
+			acc[v] = 0
+		}
+		e.EdgeMap(all, kernel)
+		e.VertexMap(all, func(v graph.VertexID) bool {
+			rank[v] = (1-damping)/float64(n) + damping*atomicf.F64From(acc[v])
+			return false
+		})
+	}
+	return rank
+}
+
+// PageRankDelta runs the delta-update PageRank variant: only vertices whose
+// rank changed by more than eps times their accumulated rank stay in the
+// frontier. Returns the rank vector. This is the paper's PRD.
+func PageRankDelta(e engine.Engine, iters int, eps float64) []float64 {
+	g := e.Graph()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	// PageRank is the geometric series p = Σ_k (damping·A)^k · (1−damping)/n;
+	// delta holds the current term and rank the partial sum, so vertices
+	// whose term has become negligible can drop out of the frontier.
+	rank := make([]float64, n)
+	delta := make([]float64, n)
+	contrib := make([]float64, n)
+	acc := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		delta[v] = (1 - damping) / float64(n)
+		rank[v] = delta[v]
+	}
+	kernel := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, _ int32) bool {
+			acc[d] = atomicf.F64Bits(atomicf.F64From(acc[d]) + contrib[s])
+			return true
+		},
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool {
+			atomicf.AddF64(&acc[d], contrib[s])
+			return true
+		},
+	}
+	f := frontier.All(g)
+	all := frontier.All(g)
+	for it := 0; it < iters && !f.IsEmpty(); it++ {
+		for v := 0; v < n; v++ {
+			acc[v] = 0
+			if od := g.OutDegree(graph.VertexID(v)); od > 0 {
+				contrib[v] = delta[v] / float64(od)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		e.EdgeMap(f, kernel)
+		// All vertices recompute their delta; the next frontier keeps those
+		// whose rank moved materially (Ligra's PageRankDelta condition).
+		f = e.VertexMap(all, func(v graph.VertexID) bool {
+			nd := damping * atomicf.F64From(acc[v])
+			delta[v] = nd
+			rank[v] += nd
+			return math.Abs(nd) > eps*math.Abs(rank[v]) && rank[v] > 0
+		})
+	}
+	return rank
+}
+
+// BFS computes a breadth-first search tree from root, returning the parent
+// array (-1 for unreached; the root is its own parent).
+func BFS(e engine.Engine, root graph.VertexID) []int32 {
+	g := e.Graph()
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = int32(root)
+	kernel := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, _ int32) bool {
+			if parent[d] < 0 {
+				parent[d] = int32(s)
+				return true
+			}
+			return false
+		},
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool {
+			return atomicf.CASI32(&parent[d], -1, int32(s))
+		},
+		Cond: func(d graph.VertexID) bool { return parent[d] < 0 },
+	}
+	f := frontier.FromVertex(g, root)
+	for !f.IsEmpty() {
+		f = e.EdgeMap(f, kernel)
+	}
+	return parent
+}
+
+// Depths derives BFS depths from a parent array (root depth 0, -1 for
+// unreached).
+func Depths(parent []int32, root graph.VertexID) []int32 {
+	n := len(parent)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	// Repeatedly settle vertices whose parent is settled. O(diameter * n)
+	// worst case but only used in tests/verification.
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if depth[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if pd := depth[parent[v]]; pd >= 0 {
+				depth[v] = pd + 1
+				changed = true
+			}
+		}
+	}
+	return depth
+}
+
+// CC runs label-propagation connected components: every vertex starts with
+// its own ID as label, and labels propagate along edges until fixpoint. On
+// symmetric graphs this yields connected components; on directed graphs it
+// yields the directed-propagation fixpoint (label[d] ≤ label[s] for every
+// edge (s,d)). Returns the label array.
+func CC(e engine.Engine) []uint32 {
+	g := e.Graph()
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	kernel := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, _ int32) bool {
+			if label[s] < label[d] {
+				label[d] = label[s]
+				return true
+			}
+			return false
+		},
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool {
+			return atomicf.MinU32(&label[d], label[s])
+		},
+	}
+	f := frontier.All(g)
+	for !f.IsEmpty() {
+		f = e.EdgeMap(f, kernel)
+	}
+	return label
+}
+
+// SPMV multiplies the graph's (weighted) adjacency matrix with x in one
+// dense edgemap: y[d] = Σ_{(s,d)∈E} w(s,d)·x[s].
+func SPMV(e engine.Engine, x []float64) []float64 {
+	g := e.Graph()
+	n := g.NumVertices()
+	y := make([]uint64, n)
+	kernel := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, w int32) bool {
+			y[d] = atomicf.F64Bits(atomicf.F64From(y[d]) + float64(w)*x[s])
+			return false
+		},
+		UpdateAtomic: func(s, d graph.VertexID, w int32) bool {
+			atomicf.AddF64(&y[d], float64(w)*x[s])
+			return false
+		},
+	}
+	e.EdgeMap(frontier.All(g), kernel)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = atomicf.F64From(y[i])
+	}
+	return out
+}
+
+// BellmanFord computes single-source shortest paths from root over the
+// graph's edge weights, returning distances (math.MaxInt64 for unreached).
+func BellmanFord(e engine.Engine, root graph.VertexID) []int64 {
+	g := e.Graph()
+	n := g.NumVertices()
+	const inf = math.MaxInt64 / 4
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	kernel := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, w int32) bool {
+			if nd := dist[s] + int64(w); nd < dist[d] {
+				dist[d] = nd
+				return true
+			}
+			return false
+		},
+		UpdateAtomic: func(s, d graph.VertexID, w int32) bool {
+			return atomicf.MinI64(&dist[d], dist[s]+int64(w))
+		},
+	}
+	f := frontier.FromVertex(g, root)
+	for round := 0; round < n && !f.IsEmpty(); round++ {
+		f = e.EdgeMap(f, kernel)
+	}
+	out := make([]int64, n)
+	for i, d := range dist {
+		if d >= inf {
+			out[i] = math.MaxInt64
+		} else {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// Unreached is the distance BellmanFord reports for unreachable vertices.
+const Unreached = math.MaxInt64
+
+// BC computes single-source betweenness centrality from root using Brandes'
+// two-phase algorithm expressed as edgemaps (Ligra's BC): a forward BFS
+// accumulating shortest-path counts, then a backward sweep over the BFS
+// levels accumulating dependencies. The backward sweep traverses reversed
+// edges, so the caller supplies eT, an engine over the transposed graph
+// (for symmetric graphs, e itself may be passed). Returns the dependency
+// score per vertex.
+func BC(e, eT engine.Engine, root graph.VertexID) []float64 {
+	g := e.Graph()
+	n := g.NumVertices()
+	sigma := make([]uint64, n) // path counts, float64 bits
+	visited := make([]bool, n)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	sigma[root] = atomicf.F64Bits(1)
+	visited[root] = true
+	depth[root] = 0
+
+	fwd := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, _ int32) bool {
+			sigma[d] = atomicf.F64Bits(atomicf.F64From(sigma[d]) + atomicf.F64From(sigma[s]))
+			return !visited[d]
+		},
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool {
+			atomicf.AddF64(&sigma[d], atomicf.F64From(sigma[s]))
+			return !visited[d]
+		},
+		Cond: func(d graph.VertexID) bool { return !visited[d] },
+	}
+
+	var levels []*frontier.Frontier
+	f := frontier.FromVertex(g, root)
+	levels = append(levels, f)
+	for lvl := int32(1); !f.IsEmpty(); lvl++ {
+		f = e.EdgeMap(f, fwd)
+		if f.IsEmpty() {
+			break
+		}
+		e.VertexMap(f, func(v graph.VertexID) bool {
+			visited[v] = true
+			depth[v] = lvl
+			return false
+		})
+		levels = append(levels, f)
+	}
+
+	// Backward sweep: dependency delta flows from a vertex v to its BFS
+	// predecessors u (edge u→v in g, i.e. v→u in the transpose).
+	delta := make([]uint64, n)
+	bwd := engine.EdgeKernel{
+		Update: func(v, u graph.VertexID, _ int32) bool {
+			if depth[u] == depth[v]-1 {
+				add := atomicf.F64From(sigma[u]) / atomicf.F64From(sigma[v]) *
+					(1 + atomicf.F64From(delta[v]))
+				delta[u] = atomicf.F64Bits(atomicf.F64From(delta[u]) + add)
+			}
+			return false
+		},
+		UpdateAtomic: func(v, u graph.VertexID, _ int32) bool {
+			if depth[u] == depth[v]-1 {
+				add := atomicf.F64From(sigma[u]) / atomicf.F64From(sigma[v]) *
+					(1 + atomicf.LoadF64(&delta[v]))
+				atomicf.AddF64(&delta[u], add)
+			}
+			return false
+		},
+	}
+	for l := len(levels) - 1; l >= 1; l-- {
+		eT.EdgeMap(levels[l], bwd)
+	}
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if graph.VertexID(v) != root {
+			out[v] = atomicf.F64From(delta[v])
+		}
+	}
+	return out
+}
+
+// BP runs a simplified Bayesian belief-propagation update for iters
+// iterations: each vertex holds a belief in (-1, 1); on every iteration each
+// edge (s,d) contributes w·tanh(belief[s]) to d's evidence, and beliefs are
+// recomputed as tanh(prior[d] + 0.1·evidence[d]). This preserves the
+// paper's BP workload profile — a weighted, edge-oriented, fully dense
+// computation over 10 iterations — without the full factor-graph machinery
+// (see DESIGN.md). Returns the belief vector.
+func BP(e engine.Engine, iters int, prior []float64) []float64 {
+	g := e.Graph()
+	n := g.NumVertices()
+	belief := make([]float64, n)
+	evidence := make([]uint64, n)
+	copy(belief, prior)
+	// Normalize each vertex's evidence by its total in-edge weight so the
+	// tanh never saturates to exactly ±1 regardless of degree and weights.
+	norm := make([]float64, n)
+	for v := 0; v < n; v++ {
+		var sum float64
+		for _, w := range g.InWeights(graph.VertexID(v)) {
+			sum += float64(w)
+		}
+		norm[v] = 1 + sum
+	}
+	kernel := engine.EdgeKernel{
+		Update: func(s, d graph.VertexID, w int32) bool {
+			evidence[d] = atomicf.F64Bits(atomicf.F64From(evidence[d]) +
+				float64(w)*math.Tanh(belief[s]))
+			return true
+		},
+		UpdateAtomic: func(s, d graph.VertexID, w int32) bool {
+			atomicf.AddF64(&evidence[d], float64(w)*math.Tanh(belief[s]))
+			return true
+		},
+	}
+	all := frontier.All(g)
+	for it := 0; it < iters; it++ {
+		for i := range evidence {
+			evidence[i] = 0
+		}
+		e.EdgeMap(all, kernel)
+		e.VertexMap(all, func(v graph.VertexID) bool {
+			belief[v] = math.Tanh(prior[v] + atomicf.F64From(evidence[v])/norm[v])
+			return false
+		})
+	}
+	return belief
+}

@@ -1,0 +1,23 @@
+package algorithms
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// reorderForTest applies VEBO with p partitions and returns the permutation
+// and the reordered graph.
+func reorderForTest(t *testing.T, g *graph.Graph, p int) ([]graph.VertexID, *graph.Graph) {
+	t.Helper()
+	r, err := core.Reorder(g, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := core.Apply(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Perm, rg
+}

@@ -1,0 +1,168 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file holds straightforward sequential reference implementations used
+// by tests and the benchmark harness to validate the engine-based versions.
+
+// RefPageRank is a sequential power-method PageRank.
+func RefPageRank(g *graph.Graph, iters int) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		for d := 0; d < n; d++ {
+			var sum float64
+			for _, s := range g.InNeighbors(graph.VertexID(d)) {
+				if od := g.OutDegree(s); od > 0 {
+					sum += rank[s] / float64(od)
+				}
+			}
+			next[d] = (1-damping)/float64(n) + damping*sum
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// RefBFSDepths is a sequential BFS returning depths (-1 unreached).
+func RefBFSDepths(g *graph.Graph, root graph.VertexID) []int32 {
+	n := g.NumVertices()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.OutNeighbors(v) {
+			if depth[w] < 0 {
+				depth[w] = depth[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return depth
+}
+
+// RefCC is a sequential label-propagation fixpoint (same semantics as CC).
+func RefCC(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			for _, d := range g.OutNeighbors(graph.VertexID(v)) {
+				if label[v] < label[d] {
+					label[d] = label[v]
+					changed = true
+				}
+			}
+		}
+	}
+	return label
+}
+
+// RefSPMV is a sequential sparse matrix-vector product.
+func RefSPMV(g *graph.Graph, x []float64) []float64 {
+	n := g.NumVertices()
+	y := make([]float64, n)
+	for d := 0; d < n; d++ {
+		ws := g.InWeights(graph.VertexID(d))
+		for i, s := range g.InNeighbors(graph.VertexID(d)) {
+			y[d] += float64(ws[i]) * x[s]
+		}
+	}
+	return y
+}
+
+// RefSSSP is sequential Bellman-Ford returning distances (Unreached for
+// unreachable vertices).
+func RefSSSP(g *graph.Graph, root graph.VertexID) []int64 {
+	n := g.NumVertices()
+	const inf = math.MaxInt64 / 4
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	for round := 0; round < n; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			if dist[v] >= inf {
+				continue
+			}
+			ws := g.OutWeights(graph.VertexID(v))
+			for i, d := range g.OutNeighbors(graph.VertexID(v)) {
+				if nd := dist[v] + int64(ws[i]); nd < dist[d] {
+					dist[d] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]int64, n)
+	for i, d := range dist {
+		if d >= inf {
+			out[i] = Unreached
+		} else {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// RefBC is sequential Brandes single-source betweenness centrality over
+// directed edges (forward BFS on out-edges).
+func RefBC(g *graph.Graph, root graph.VertexID) []float64 {
+	n := g.NumVertices()
+	sigma := make([]float64, n)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	sigma[root] = 1
+	depth[root] = 0
+	var order []graph.VertexID
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.OutNeighbors(v) {
+			if depth[w] < 0 {
+				depth[w] = depth[v] + 1
+				queue = append(queue, w)
+			}
+			if depth[w] == depth[v]+1 {
+				sigma[w] += sigma[v]
+			}
+		}
+	}
+	delta := make([]float64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, w := range g.OutNeighbors(v) {
+			if depth[w] == depth[v]+1 {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+		}
+	}
+	delta[root] = 0
+	return delta
+}

@@ -1,0 +1,226 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index). Each
+// experiment builds its workload from the synthetic recipes in internal/gen,
+// runs the relevant pipeline and prints the same rows or series the paper
+// reports. Absolute numbers are modeled (cost units or simulated cycles, as
+// documented in internal/engine and internal/memsim); the comparisons —
+// who wins, by roughly what factor, where crossovers fall — are the
+// reproduction targets.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphgrind"
+	"repro/internal/layout"
+	"repro/internal/ligra"
+	"repro/internal/numa"
+	"repro/internal/order"
+	"repro/internal/polymer"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale multiplies the recipe vertex counts (1.0 ≈ 10^5 vertices).
+	Scale float64
+	// Seed drives all generators.
+	Seed int64
+	// Partitions is the GraphGrind partition count (the paper's 384).
+	Partitions int
+	// Topology is the virtual NUMA machine (the paper's 4×12 by default).
+	Topology numa.Topology
+	// Out receives the report.
+	Out io.Writer
+}
+
+// WithDefaults fills in the paper's defaults.
+func (c Config) WithDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 384
+	}
+	if c.Topology.Sockets == 0 {
+		c.Topology = numa.Default()
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// Experiments lists the available experiment names in paper order.
+func Experiments() []string {
+	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners"}
+}
+
+// Run executes the named experiment ("all" runs every one).
+func Run(name string, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	switch name {
+	case "fig1":
+		return Fig1(cfg)
+	case "table1":
+		return Table1(cfg)
+	case "table3":
+		return Table3(cfg)
+	case "table4":
+		return Table4(cfg)
+	case "fig4":
+		return Fig4(cfg)
+	case "fig5":
+		return Fig5(cfg)
+	case "table5":
+		return Table5(cfg)
+	case "fig6":
+		return Fig6(cfg)
+	case "table6":
+		return Table6(cfg)
+	case "partitioners":
+		return Partitioners(cfg)
+	case "all":
+		for _, e := range Experiments() {
+			if err := Run(e, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (have %v or \"all\")", name, Experiments())
+	}
+}
+
+// buildRecipe generates the named recipe graph at the configured scale.
+func buildRecipe(cfg Config, name string) (*graph.Graph, error) {
+	r, err := gen.RecipeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Build(cfg.Scale, cfg.Seed)
+}
+
+// orderingNames is the paper's Table III column order.
+var orderingNames = []string{"orig", "rcm", "gorder", "vebo"}
+
+// ordered holds a reordered graph together with its permutation and, for
+// VEBO, partition boundaries.
+type ordered struct {
+	name   string
+	g      *graph.Graph
+	perm   []graph.VertexID // old -> new
+	bounds map[int][]int64  // VEBO boundaries per partition count (nil otherwise)
+}
+
+// applyOrderings produces the four Table III graph variants. VEBO bounds are
+// computed for each requested partition count.
+func applyOrderings(g *graph.Graph, veboPartitionCounts []int) ([]ordered, error) {
+	out := make([]ordered, 0, 4)
+	out = append(out, ordered{name: "orig", g: g, perm: order.Identity(g)})
+
+	rcmPerm := order.RCM(g)
+	rg, err := g.Relabel(rcmPerm)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ordered{name: "rcm", g: rg, perm: rcmPerm})
+
+	goPerm := order.Gorder(g, order.GorderConfig{MaxSiblingDegree: 64})
+	gg, err := g.Relabel(goPerm)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ordered{name: "gorder", g: gg, perm: goPerm})
+
+	vo, err := veboOrdered(g, veboPartitionCounts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, *vo)
+	return out, nil
+}
+
+// veboOrdered reorders g with VEBO; the permutation uses the largest
+// partition count, and bounds are recorded for every requested count.
+func veboOrdered(g *graph.Graph, partitionCounts []int) (*ordered, error) {
+	if len(partitionCounts) == 0 {
+		partitionCounts = []int{graphgrind.DefaultPartitions}
+	}
+	counts := append([]int(nil), partitionCounts...)
+	sort.Ints(counts)
+	main := counts[len(counts)-1]
+	r, err := core.Reorder(g, main, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	vg, err := core.Apply(g, r)
+	if err != nil {
+		return nil, err
+	}
+	o := &ordered{name: "vebo", g: vg, perm: r.Perm, bounds: map[int][]int64{main: r.Boundaries()}}
+	for _, p := range counts[:len(counts)-1] {
+		// Coarser partitionings reuse the fine boundaries: merging balanced
+		// fine partitions groupwise keeps both vertex and edge balance.
+		o.bounds[p] = groupBounds(o.bounds[main], p)
+	}
+	return o, nil
+}
+
+// groupBounds merges fine partition boundaries into p coarse ones.
+func groupBounds(fine []int64, p int) []int64 {
+	nf := len(fine) - 1
+	out := make([]int64, p+1)
+	for i := 0; i <= p; i++ {
+		out[i] = fine[i*nf/p]
+	}
+	out[p] = fine[nf]
+	return out
+}
+
+// systemNames is the paper's framework order.
+var systemNames = []string{"ligra", "polymer", "graphgrind"}
+
+// newEngine constructs the named framework model over g. bounds may be nil
+// (Algorithm 1 partitioning). ggOrder selects GraphGrind's COO edge order.
+func newEngine(sys string, g *graph.Graph, cfg Config, bounds []int64, ggOrder layout.Order, ggParts int) (engine.Engine, error) {
+	ecfg := engine.Config{Topology: cfg.Topology}
+	switch sys {
+	case "ligra":
+		return ligra.New(g, ligra.Config{Engine: ecfg}), nil
+	case "polymer":
+		var b []int64
+		if bounds != nil {
+			b = groupBounds(bounds, cfg.Topology.Sockets)
+		}
+		return polymer.New(g, polymer.Config{Engine: ecfg, Bounds: b})
+	case "graphgrind":
+		return graphgrind.New(g, graphgrind.Config{
+			Engine: ecfg, Partitions: ggParts, Order: ggOrder, Bounds: bounds,
+		})
+	default:
+		return nil, fmt.Errorf("bench: unknown system %q", sys)
+	}
+}
+
+// pickRoot returns the vertex with the highest out-degree, the conventional
+// root for traversal benchmarks on scale-free graphs.
+func pickRoot(g *graph.Graph) graph.VertexID {
+	var best graph.VertexID
+	var bestDeg int64 = -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > bestDeg {
+			bestDeg = d
+			best = graph.VertexID(v)
+		}
+	}
+	return best
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/numa"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Scale:      0.05,
+		Seed:       7,
+		Partitions: 48,
+		Topology:   numa.Topology{Sockets: 4, ThreadsPerSocket: 2},
+		Out:        buf,
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", Config{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	if len(Experiments()) != 10 {
+		t.Fatalf("experiment count = %d", len(Experiments()))
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table1", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "twitter", "usaroad", "rmat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig1Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig1", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "original") || !strings.Contains(out, "vebo") {
+		t.Errorf("output missing variants:\n%s", out)
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table4", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "must match") {
+		t.Errorf("output missing sanity line:\n%s", buf.String())
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig4", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "branch MPKI") {
+		t.Errorf("output missing MPKI:\n%s", buf.String())
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table5", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vmRmt") {
+		t.Errorf("output missing columns:\n%s", buf.String())
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig6", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "high-to-low") {
+		t.Errorf("output missing series:\n%s", buf.String())
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig5", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"random+vebo", "usaroad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTable6Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table6", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedups") {
+		t.Errorf("output missing speedups:\n%s", buf.String())
+	}
+}
+
+func TestTable3SmokeSingleGraph(t *testing.T) {
+	// Table3 over all 8 graphs is heavy; restrict to two graphs for the
+	// smoke test via the package-level list.
+	saved := table3Graphs
+	table3Graphs = []string{"livejournal", "usaroad"}
+	defer func() { table3Graphs = saved }()
+	var buf bytes.Buffer
+	if err := Run("table3", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ligra", "polymer", "graphgrind", "geomean", "SPMV"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Polymer must skip BC
+	if strings.Contains(out, "BC     polymer") {
+		t.Error("polymer should not run BC")
+	}
+}
+
+func TestPartitionersSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("partitioners", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ldg", "fennel", "vebo", "algo1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestGroupBounds(t *testing.T) {
+	fine := []int64{0, 10, 20, 30, 40, 50, 60, 70, 80}
+	got := groupBounds(fine, 4)
+	want := []int64{0, 20, 40, 60, 80}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("groupBounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if p := pearson(x, x); p < 0.999 {
+		t.Errorf("self-correlation = %v", p)
+	}
+	y := []float64{4, 3, 2, 1}
+	if p := pearson(x, y); p > -0.999 {
+		t.Errorf("anti-correlation = %v", p)
+	}
+	if p := pearson(x, []float64{5, 5, 5, 5}); p != 0 {
+		t.Errorf("constant correlation = %v", p)
+	}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// fig3Graph reproduces the paper's Figure 3 example: 6 vertices with
+// in-degrees v0:1 v1:2 v2:2 v3:2 v4:4 v5:3 (14 edges).
+func fig3Graph(t *testing.T) *graph.Graph {
+	t.Helper()
+	edges := []graph.Edge{
+		{Src: 1, Dst: 0},
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 1},
+		{Src: 1, Dst: 2}, {Src: 3, Dst: 2},
+		{Src: 4, Dst: 3}, {Src: 5, Dst: 3},
+		{Src: 0, Dst: 4}, {Src: 1, Dst: 4}, {Src: 3, Dst: 4}, {Src: 5, Dst: 4},
+		{Src: 0, Dst: 5}, {Src: 2, Dst: 5}, {Src: 4, Dst: 5},
+	}
+	g, err := graph.FromEdges(6, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFig3Example(t *testing.T) {
+	g := fig3Graph(t)
+	r, err := Reorder(g, 2, Options{})
+	if err != nil {
+		t.Fatalf("Reorder: %v", err)
+	}
+	// Paper: each partition gets 7 incoming edges and 3 destination vertices.
+	if got := r.EdgeCounts; !reflect.DeepEqual(got, []int64{7, 7}) {
+		t.Errorf("edge counts = %v, want [7 7]", got)
+	}
+	if got := r.VertexCounts; !reflect.DeepEqual(got, []int64{3, 3}) {
+		t.Errorf("vertex counts = %v, want [3 3]", got)
+	}
+	if r.EdgeImbalance() != 0 || r.VertexImbalance() != 0 {
+		t.Errorf("imbalance Δ=%d δ=%d, want 0,0", r.EdgeImbalance(), r.VertexImbalance())
+	}
+	// The highest-degree vertex (v4, degree 4) must be placed first and so
+	// receives new ID 0.
+	if r.Perm[4] != 0 {
+		t.Errorf("Perm[4] = %d, want 0", r.Perm[4])
+	}
+}
+
+func TestReorderProducesValidPermutation(t *testing.T) {
+	g := fig3Graph(t)
+	r, err := Reorder(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.NumVertices())
+	for _, p := range r.Perm {
+		if seen[p] {
+			t.Fatalf("duplicate new ID %d", p)
+		}
+		seen[p] = true
+	}
+	h, err := Apply(g, r)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !graph.IsIsomorphicUnder(g, h, r.Perm) {
+		t.Error("reordered graph not isomorphic to input")
+	}
+}
+
+func TestPartitionsContiguousInNewIDSpace(t *testing.T) {
+	g := fig3Graph(t)
+	r, err := Reorder(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := r.Boundaries()
+	for v := 0; v < g.NumVertices(); v++ {
+		p := r.PartitionOf[v]
+		newID := int64(r.Perm[v])
+		if newID < b[p] || newID >= b[p+1] {
+			t.Errorf("vertex %d: new ID %d outside partition %d range [%d,%d)",
+				v, newID, p, b[p], b[p+1])
+		}
+	}
+	if b[len(b)-1] != int64(g.NumVertices()) {
+		t.Errorf("last boundary %d != n %d", b[len(b)-1], g.NumVertices())
+	}
+}
+
+func TestCountsMatchAssignment(t *testing.T) {
+	g := fig3Graph(t)
+	r, err := Reorder(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := make([]int64, r.P)
+	vc := make([]int64, r.P)
+	for v := 0; v < g.NumVertices(); v++ {
+		p := r.PartitionOf[v]
+		vc[p]++
+		ec[p] += g.InDegree(graph.VertexID(v))
+	}
+	if !reflect.DeepEqual(ec, r.EdgeCounts) {
+		t.Errorf("edge counts %v != recomputed %v", r.EdgeCounts, ec)
+	}
+	if !reflect.DeepEqual(vc, r.VertexCounts) {
+		t.Errorf("vertex counts %v != recomputed %v", r.VertexCounts, vc)
+	}
+}
+
+func TestReorderRejectsBadP(t *testing.T) {
+	g := fig3Graph(t)
+	if _, err := Reorder(g, 0, Options{}); err == nil {
+		t.Error("expected error for P=0")
+	}
+	if _, err := Reorder(g, -3, Options{}); err == nil {
+		t.Error("expected error for negative P")
+	}
+}
+
+func TestMorePartitionsThanVertices(t *testing.T) {
+	g := fig3Graph(t)
+	r, err := Reorder(g, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vsum, esum int64
+	for p := 0; p < r.P; p++ {
+		vsum += r.VertexCounts[p]
+		esum += r.EdgeCounts[p]
+	}
+	if vsum != int64(g.NumVertices()) || esum != g.NumEdges() {
+		t.Errorf("totals vsum=%d esum=%d", vsum, esum)
+	}
+}
+
+func TestEmptyDegreeSequence(t *testing.T) {
+	r, err := ReorderDegrees(nil, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Perm) != 0 || r.EdgeImbalance() != 0 {
+		t.Errorf("empty sequence result = %+v", r)
+	}
+}
+
+func TestSortByDegreeDesc(t *testing.T) {
+	degrees := []int64{1, 2, 2, 2, 4, 3}
+	order := sortByDegreeDesc(degrees)
+	want := []int{4, 5, 1, 2, 3, 0} // desc degree, ascending ID within ties
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestSortByDegreeDescAllZero(t *testing.T) {
+	order := sortByDegreeDesc([]int64{0, 0, 0})
+	if !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// exactZipfDegrees builds a degree sequence following the paper's Zipf model
+// exactly in expectation: the number of vertices with degree k-1 is
+// round(n·pk) with pk = k^-s/H_{N,s}; any shortfall becomes degree-0
+// vertices.
+func exactZipfDegrees(n, bigN int, s float64) []int64 {
+	h := 0.0
+	for k := 1; k <= bigN; k++ {
+		h += math.Pow(float64(k), -s)
+	}
+	degrees := make([]int64, 0, n)
+	for k := bigN; k >= 2; k-- { // high degrees first; k=1 (degree 0) fills rest
+		cnt := int(math.Round(float64(n) * math.Pow(float64(k), -s) / h))
+		for i := 0; i < cnt && len(degrees) < n; i++ {
+			degrees = append(degrees, int64(k-1))
+		}
+	}
+	for len(degrees) < n {
+		degrees = append(degrees, 0)
+	}
+	return degrees
+}
+
+// TestTheorem1And2 verifies the paper's headline guarantee: on Zipf degree
+// sequences satisfying |E| ≥ N(P−1), P < N and n ≥ N·H_{N,s}, VEBO achieves
+// Δ(n) ≤ 1 and δ(n) ≤ 1.
+func TestTheorem1And2(t *testing.T) {
+	for _, tc := range []struct {
+		n, bigN int
+		s       float64
+		p       int
+	}{
+		{2000, 50, 1.0, 2},
+		{2000, 50, 1.0, 8},
+		{5000, 100, 1.0, 16},
+		{5000, 80, 0.8, 8},
+		{10000, 120, 1.2, 24},
+	} {
+		degrees := exactZipfDegrees(tc.n, tc.bigN, tc.s)
+		var edges int64
+		for _, d := range degrees {
+			edges += d
+		}
+		if edges < int64(tc.bigN*(tc.p-1)) {
+			t.Fatalf("test setup violates |E| >= N(P-1): %d < %d", edges, tc.bigN*(tc.p-1))
+		}
+		r, err := ReorderDegrees(degrees, tc.p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := r.EdgeImbalance(); d > 1 {
+			t.Errorf("n=%d N=%d s=%v P=%d: Δ(n)=%d > 1", tc.n, tc.bigN, tc.s, tc.p, d)
+		}
+		if d := r.VertexImbalance(); d > 1 {
+			t.Errorf("n=%d N=%d s=%v P=%d: δ(n)=%d > 1", tc.n, tc.bigN, tc.s, tc.p, d)
+		}
+	}
+}
+
+// TestLemma1Invariant replays phase 1 step by step and checks the case
+// analysis of Lemma 1: placing a vertex of degree d either leaves the
+// maximum load ω unchanged with Δ non-increasing (d ≤ Δ), or raises ω with
+// the new Δ bounded by d (d > Δ).
+func TestLemma1Invariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	degrees := make([]int64, 500)
+	for i := range degrees {
+		degrees[i] = int64(rng.Intn(40) + 1)
+	}
+	order := sortByDegreeDesc(degrees)
+	const p = 7
+	loads := make([]int64, p)
+	spreadOf := func() (omega, delta int64) {
+		lo, hi := loads[0], loads[0]
+		for _, x := range loads[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return hi, hi - lo
+	}
+	for _, v := range order {
+		d := degrees[v]
+		omegaBefore, deltaBefore := spreadOf()
+		// place on min-loaded partition
+		best := 0
+		for i := 1; i < p; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		loads[best] += d
+		omegaAfter, deltaAfter := spreadOf()
+		if d <= deltaBefore {
+			if deltaAfter > deltaBefore {
+				t.Fatalf("Lemma 1 case 2 violated: d=%d Δ %d→%d", d, deltaBefore, deltaAfter)
+			}
+			if omegaAfter != omegaBefore {
+				t.Fatalf("Lemma 1 case 2 violated: ω changed %d→%d with d=%d ≤ Δ=%d",
+					omegaBefore, omegaAfter, d, deltaBefore)
+			}
+		} else {
+			if deltaAfter > d {
+				t.Fatalf("Lemma 1 case 3 violated: Δ'=%d > d=%d", deltaAfter, d)
+			}
+		}
+	}
+}
+
+func TestHeapAndLinearArgMinAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		p := rng.Intn(12) + 1
+		degrees := make([]int64, n)
+		for i := range degrees {
+			degrees[i] = int64(rng.Intn(20))
+		}
+		a, err := ReorderDegrees(degrees, p, Options{})
+		if err != nil {
+			return false
+		}
+		b, err := ReorderDegrees(degrees, p, Options{LinearArgMin: true})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with an abundance of degree-1 and degree-0 vertices, VEBO
+// achieves Δ ≤ 1 and δ ≤ 1 for any base sequence (the mechanism behind
+// Theorems 1 and 2).
+func TestBalanceWithAbundantFillerQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Intn(7) + 2
+		base := rng.Intn(60) + 1
+		maxd := rng.Intn(30) + 1
+		degrees := make([]int64, 0, base*4)
+		for i := 0; i < base; i++ {
+			degrees = append(degrees, int64(rng.Intn(maxd)+1))
+		}
+		// enough degree-1 filler to even out edges: (P-1) * maxd each round
+		for i := 0; i < p*maxd*2; i++ {
+			degrees = append(degrees, 1)
+		}
+		// enough zero-degree filler to even out vertices
+		m := len(degrees)
+		for i := 0; i < (p-1)*m; i++ {
+			degrees = append(degrees, 0)
+		}
+		r, err := ReorderDegrees(degrees, p, Options{})
+		if err != nil {
+			return false
+		}
+		return r.EdgeImbalance() <= 1 && r.VertexImbalance() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Perm is always a permutation and totals always add up, for
+// arbitrary degree sequences.
+func TestStructuralInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		p := rng.Intn(15) + 1
+		degrees := make([]int64, n)
+		var total int64
+		for i := range degrees {
+			degrees[i] = int64(rng.Intn(50))
+			total += degrees[i]
+		}
+		r, err := ReorderDegrees(degrees, p, Options{})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, q := range r.Perm {
+			if int(q) >= n || seen[q] {
+				return false
+			}
+			seen[q] = true
+		}
+		var vs, es int64
+		for i := 0; i < p; i++ {
+			vs += r.VertexCounts[i]
+			es += r.EdgeCounts[i]
+		}
+		return vs == int64(n) && es == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The locality-block refinement must not change per-partition vertex or edge
+// counts, only which same-degree vertices land where.
+func TestLocalityBlocksPreserveBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 10
+		p := rng.Intn(9) + 1
+		degrees := make([]int64, n)
+		for i := range degrees {
+			degrees[i] = int64(rng.Intn(12))
+		}
+		a, err := ReorderDegrees(degrees, p, Options{})
+		if err != nil {
+			return false
+		}
+		b, err := ReorderDegrees(degrees, p, Options{DisableLocalityBlocks: true})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a.VertexCounts, b.VertexCounts) &&
+			reflect.DeepEqual(a.EdgeCounts, b.EdgeCounts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With a uniform degree sequence the locality refinement must assign
+// original-ID blocks: PartitionOf is non-decreasing over vertex IDs.
+func TestLocalityBlocksKeepConsecutiveIDsTogether(t *testing.T) {
+	degrees := make([]int64, 120)
+	for i := range degrees {
+		degrees[i] = 3
+	}
+	r, err := ReorderDegrees(degrees, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < len(degrees); v++ {
+		if r.PartitionOf[v] < r.PartitionOf[v-1] {
+			t.Fatalf("PartitionOf not block-contiguous at %d: %d < %d",
+				v, r.PartitionOf[v], r.PartitionOf[v-1])
+		}
+	}
+	// and the permutation must be the identity here: blocks in ID order.
+	for v := range degrees {
+		if r.Perm[v] != graph.VertexID(v) {
+			t.Fatalf("uniform-degree block ordering should be identity; Perm[%d]=%d", v, r.Perm[v])
+		}
+	}
+}
+
+func TestZeroDegreeVerticesCorrectVertexImbalance(t *testing.T) {
+	// One giant vertex plus many degree-1 vertices: phase 1 puts 1 vertex on
+	// one partition and many on the other; zero-degree vertices must repair
+	// δ to ≤ 1.
+	degrees := []int64{100}
+	for i := 0; i < 100; i++ {
+		degrees = append(degrees, 1)
+	}
+	for i := 0; i < 200; i++ {
+		degrees = append(degrees, 0)
+	}
+	r, err := ReorderDegrees(degrees, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeImbalance() > 1 {
+		t.Errorf("Δ = %d, want ≤ 1", r.EdgeImbalance())
+	}
+	if r.VertexImbalance() > 1 {
+		t.Errorf("δ = %d, want ≤ 1", r.VertexImbalance())
+	}
+}
+
+func TestPartitionHeapOrdering(t *testing.T) {
+	h := newPartitionHeap(5)
+	// all zero: min must be lowest index
+	if h.min() != 0 {
+		t.Fatalf("min = %d, want 0", h.min())
+	}
+	p := h.addToMin(10) // partition 0 now has 10
+	if p != 0 {
+		t.Fatalf("addToMin returned %d, want 0", p)
+	}
+	if h.min() != 1 {
+		t.Fatalf("min = %d, want 1", h.min())
+	}
+	for i := 0; i < 4; i++ {
+		h.addToMin(10) // fill 1..4 to 10
+	}
+	// now all 10; tie must break to 0
+	if h.min() != 0 {
+		t.Fatalf("after filling, min = %d, want 0", h.min())
+	}
+	if h.maxKey() != 10 {
+		t.Fatalf("maxKey = %d", h.maxKey())
+	}
+}
+
+// VEBO is idempotent on balance: reordering an already-VEBO-ordered graph
+// preserves Δ ≤ 1 and δ ≤ 1.
+func TestVEBOIdempotentBalance(t *testing.T) {
+	degrees := exactZipfDegrees(4000, 60, 1.0)
+	r1, err := ReorderDegrees(degrees, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// permute the degree sequence as the reordered graph would see it
+	permuted := make([]int64, len(degrees))
+	for v, d := range degrees {
+		permuted[r1.Perm[v]] = d
+	}
+	r2, err := ReorderDegrees(permuted, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.EdgeImbalance() > 1 || r2.VertexImbalance() > 1 {
+		t.Fatalf("second reorder imbalance Δ=%d δ=%d", r2.EdgeImbalance(), r2.VertexImbalance())
+	}
+}
+
+// Determinism: identical inputs produce identical orderings.
+func TestReorderDeterministic(t *testing.T) {
+	g := fig3Graph(t)
+	a, err := Reorder(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reorder(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Reorder not deterministic")
+	}
+}
+
+// Degenerate degree sequences must not break the pipeline.
+func TestReorderDegenerateSequences(t *testing.T) {
+	cases := map[string][]int64{
+		"all-zero":   make([]int64, 50),
+		"one-vertex": {7},
+		"all-equal":  {3, 3, 3, 3, 3, 3, 3, 3},
+		"one-hub":    {1000, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, degrees := range cases {
+		r, err := ReorderDegrees(degrees, 4, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen := make([]bool, len(degrees))
+		for _, p := range r.Perm {
+			if seen[p] {
+				t.Fatalf("%s: duplicate new ID", name)
+			}
+			seen[p] = true
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package engine provides the shared edgemap/vertexmap machinery on which
+// the three framework models (internal/ligra, internal/polymer,
+// internal/graphgrind) are built. It mirrors the programming model common to
+// Ligra, Polymer and GraphGrind: algorithms are iterations of
+//
+//   - EdgeMap(frontier, kernel): apply a kernel to every edge whose source
+//     is active, returning the frontier of destinations the kernel
+//     activated; traversal direction (sparse push vs dense pull) follows the
+//     direction-optimization heuristic, and
+//   - VertexMap(frontier, fn): apply fn to every active vertex, returning
+//     the frontier of vertices for which fn returned true.
+//
+// # Modeled time
+//
+// The paper's results are wall-clock measurements on a 48-thread NUMA
+// machine. This reproduction cannot assume multiple cores (the CI host has
+// one), so parallel-loop timing is *modeled*: every traversal is decomposed
+// into scheduling units (vertex chunks or graph partitions), the work in
+// each unit is counted in deterministic cost units (edges scanned plus a
+// weight per destination/source vertex touched), and the loop's modeled
+// time is the makespan of those units under the engine's scheduling
+// discipline — max block cost for static scheduling, greedy list-scheduling
+// makespan for dynamic scheduling. Execution itself is still genuinely
+// parallel (goroutines with atomic kernels), but reported times come from
+// the deterministic model. DESIGN.md §1 documents this substitution.
+package engine
+
+import (
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/numa"
+	"sort"
+)
+
+// Cost-model weights, in abstract units of one edge scan.
+const (
+	// CostEdge is the cost of scanning one edge.
+	CostEdge = 1
+	// CostVertex is the cost of touching one destination vertex's state
+	// (frontier check, value load/store, loop overhead).
+	CostVertex = 4
+)
+
+// EdgeKernel is the per-edge computation supplied by an algorithm.
+type EdgeKernel struct {
+	// Update applies edge (s→d) with weight w; it returns true if d became
+	// newly active. Called in pull (dense) traversal where a single worker
+	// owns d, so it may be non-atomic.
+	Update func(s, d graph.VertexID, w int32) bool
+	// UpdateAtomic is the thread-safe variant used in push (sparse)
+	// traversal where multiple workers may target d concurrently.
+	UpdateAtomic func(s, d graph.VertexID, w int32) bool
+	// Cond reports whether destination d still accepts updates; dense
+	// traversal stops scanning d's in-edges once it returns false. A nil
+	// Cond means "always true".
+	Cond func(d graph.VertexID) bool
+}
+
+func (k EdgeKernel) cond(d graph.VertexID) bool {
+	return k.Cond == nil || k.Cond(d)
+}
+
+// Engine is the interface all three framework models implement, and the
+// interface the algorithm suite is written against.
+type Engine interface {
+	// Name identifies the framework model ("ligra", "polymer",
+	// "graphgrind").
+	Name() string
+	// Graph returns the processed graph.
+	Graph() *graph.Graph
+	// EdgeMap applies k to all edges with active sources and returns the
+	// frontier of activated destinations.
+	EdgeMap(f *frontier.Frontier, k EdgeKernel) *frontier.Frontier
+	// VertexMap applies fn to all active vertices and returns the frontier
+	// of vertices for which fn returned true.
+	VertexMap(f *frontier.Frontier, fn func(v graph.VertexID) bool) *frontier.Frontier
+	// Metrics exposes the accumulated modeled-time accounting.
+	Metrics() *Metrics
+}
+
+// StepKind labels one EdgeMap or VertexMap invocation in the metrics log.
+type StepKind int
+
+const (
+	StepEdgeMapSparse StepKind = iota
+	StepEdgeMapDense
+	StepVertexMap
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepEdgeMapSparse:
+		return "edgemap-sparse"
+	case StepEdgeMapDense:
+		return "edgemap-dense"
+	case StepVertexMap:
+		return "vertexmap"
+	default:
+		return "unknown"
+	}
+}
+
+// Step records the cost accounting of one parallel loop.
+type Step struct {
+	Kind           StepKind
+	ActiveVertices int64
+	ActiveEdges    int64 // out-edges of the input frontier
+	TotalCost      int64
+	Makespan       int64   // modeled loop time in cost units
+	UnitCosts      []int64 // per scheduling unit
+	// PartitionCosts holds per-graph-partition costs for partitioned
+	// engines (Polymer, GraphGrind) in dense steps; nil otherwise.
+	PartitionCosts []int64
+}
+
+// Metrics accumulates Step records and the total modeled time.
+type Metrics struct {
+	Steps     []Step
+	ModelTime int64 // sum of step makespans
+}
+
+// Add appends a step and accumulates its makespan.
+func (m *Metrics) Add(s Step) {
+	m.Steps = append(m.Steps, s)
+	m.ModelTime += s.Makespan
+}
+
+// Sum totals a cost slice.
+func Sum(costs []int64) int64 {
+	var t int64
+	for _, c := range costs {
+		t += c
+	}
+	return t
+}
+
+// Reset clears the accumulated metrics.
+func (m *Metrics) Reset() {
+	m.Steps = nil
+	m.ModelTime = 0
+}
+
+// LastStep returns the most recent step, or nil.
+func (m *Metrics) LastStep() *Step {
+	if len(m.Steps) == 0 {
+		return nil
+	}
+	return &m.Steps[len(m.Steps)-1]
+}
+
+// EdgeMapTime returns the modeled time spent in edgemap steps.
+func (m *Metrics) EdgeMapTime() int64 {
+	var t int64
+	for _, s := range m.Steps {
+		if s.Kind != StepVertexMap {
+			t += s.Makespan
+		}
+	}
+	return t
+}
+
+// VertexMapTime returns the modeled time spent in vertexmap steps.
+func (m *Metrics) VertexMapTime() int64 {
+	var t int64
+	for _, s := range m.Steps {
+		if s.Kind == StepVertexMap {
+			t += s.Makespan
+		}
+	}
+	return t
+}
+
+// MakespanStatic models a statically scheduled parallel loop: the units are
+// cut into `workers` contiguous blocks with equal unit counts (the loop
+// bounds are divided up front, blind to cost), and the loop takes as long as
+// its most expensive block.
+func MakespanStatic(costs []int64, workers int) int64 {
+	n := len(costs)
+	if n == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	per := (n + workers - 1) / workers
+	var max int64
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		var sum int64
+		for _, c := range costs[lo:hi] {
+			sum += c
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	return max
+}
+
+// MakespanDynamic models a work-stealing scheduler (Cilk): idle workers
+// steal the largest remaining work, which classic scheduling theory
+// approximates as LPT list scheduling — assign units in decreasing cost
+// order to the least-loaded worker. Plain in-order list scheduling would
+// charge an end-of-schedule straggler whenever a large unit happens to come
+// last, an artifact of unit ordering that work stealing does not exhibit.
+func MakespanDynamic(costs []int64, workers int) int64 {
+	if len(costs) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), costs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	return makespanFIFO(sorted, workers)
+}
+
+// makespanFIFO is in-order list scheduling: units are handed out in index
+// order to the first free worker, as a FIFO work queue does.
+func makespanFIFO(costs []int64, workers int) int64 {
+	if len(costs) == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		var sum int64
+		for _, c := range costs {
+			sum += c
+		}
+		return sum
+	}
+	loads := make([]int64, workers)
+	for _, c := range costs {
+		best := 0
+		for i := 1; i < workers; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		loads[best] += c
+	}
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MakespanGrouped models GraphGrind's two-level scheduling: units are cut
+// into `groups` contiguous blocks (static across sockets), each processed by
+// workersPerGroup workers pulling from a FIFO queue; the loop takes as long
+// as the slowest group. The FIFO model (not LPT) is deliberate: GraphGrind
+// cannot subdivide or reorder partitions at run time.
+func MakespanGrouped(costs []int64, groups, workersPerGroup int) int64 {
+	n := len(costs)
+	if n == 0 {
+		return 0
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	per := (n + groups - 1) / groups
+	var max int64
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if t := makespanFIFO(costs[lo:hi], workersPerGroup); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Config carries the knobs shared by the three engines.
+type Config struct {
+	// Topology is the virtual NUMA machine; the zero value selects the
+	// paper's 4×12 topology.
+	Topology numa.Topology
+	// SparseChunk is the number of frontier vertices per dynamic scheduling
+	// unit in sparse traversal (default 64).
+	SparseChunk int
+}
+
+// WithDefaults fills zero-valued fields with the paper's defaults.
+func (c Config) WithDefaults() Config {
+	if c.Topology.Sockets == 0 {
+		c.Topology = numa.Default()
+	}
+	if c.SparseChunk <= 0 {
+		c.SparseChunk = 64
+	}
+	return c
+}

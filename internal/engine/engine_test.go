@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+func TestMakespanStatic(t *testing.T) {
+	// 4 units, 2 workers: blocks {10,1} and {1,1} → makespan 11.
+	if got := MakespanStatic([]int64{10, 1, 1, 1}, 2); got != 11 {
+		t.Errorf("MakespanStatic = %d, want 11", got)
+	}
+	if got := MakespanStatic(nil, 4); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	if got := MakespanStatic([]int64{5}, 8); got != 5 {
+		t.Errorf("single = %d", got)
+	}
+	// one worker = total
+	if got := MakespanStatic([]int64{3, 4, 5}, 1); got != 12 {
+		t.Errorf("one worker = %d", got)
+	}
+}
+
+func TestMakespanDynamic(t *testing.T) {
+	// list scheduling spreads the load: {10,1,1,1} on 2 workers → 10 vs 3.
+	if got := MakespanDynamic([]int64{10, 1, 1, 1}, 2); got != 10 {
+		t.Errorf("MakespanDynamic = %d, want 10", got)
+	}
+	if got := MakespanDynamic([]int64{3, 4, 5}, 1); got != 12 {
+		t.Errorf("one worker = %d", got)
+	}
+	if got := MakespanDynamic(nil, 3); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+}
+
+func TestMakespanGrouped(t *testing.T) {
+	// 4 units in 2 groups of 2, 1 worker per group: group sums 11 and 2.
+	if got := MakespanGrouped([]int64{10, 1, 1, 1}, 2, 1); got != 11 {
+		t.Errorf("MakespanGrouped = %d, want 11", got)
+	}
+	// 2 workers per group: group 0 max(10,1)=10.
+	if got := MakespanGrouped([]int64{10, 1, 1, 1}, 2, 2); got != 10 {
+		t.Errorf("MakespanGrouped = %d, want 10", got)
+	}
+}
+
+// Property: both makespans respect the scheduling-theory bounds — at least
+// the max unit cost and the average load, at most the total; and dynamic
+// list scheduling obeys Graham's bound makespan ≤ total/w + max unit.
+func TestMakespanBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		w := rng.Intn(8) + 1
+		costs := make([]int64, n)
+		var total, maxc int64
+		for i := range costs {
+			costs[i] = int64(rng.Intn(100))
+			total += costs[i]
+			if costs[i] > maxc {
+				maxc = costs[i]
+			}
+		}
+		d := MakespanDynamic(costs, w)
+		s := MakespanStatic(costs, w)
+		avg := (total + int64(w) - 1) / int64(w) // ceil(mean), valid lower bound
+		if d > total || s > total {
+			return false
+		}
+		if d < maxc || d < avg || s < maxc || s < avg {
+			return false
+		}
+		// Graham's list-scheduling guarantee
+		return d <= total/int64(w)+maxc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	units := SplitRange(10, 3)
+	want := []Range{{0, 3}, {3, 6}, {6, 9}, {9, 10}}
+	if !reflect.DeepEqual(units, want) {
+		t.Errorf("SplitRange = %v", units)
+	}
+	if got := SplitRange(0, 5); len(got) != 0 {
+		t.Errorf("empty range produced %v", got)
+	}
+	if got := SplitRange(5, 0); len(got) != 5 {
+		t.Errorf("unit 0 should clamp to 1, got %v", got)
+	}
+}
+
+func TestSubdivideByCount(t *testing.T) {
+	sub := SubdivideByCount([]Range{{0, 10}, {10, 12}}, 3)
+	// first range: 4+4+2, second: 1+1
+	want := []Range{{0, 4}, {4, 8}, {8, 10}, {10, 11}, {11, 12}}
+	if !reflect.DeepEqual(sub, want) {
+		t.Errorf("SubdivideByCount = %v, want %v", sub, want)
+	}
+	// empty ranges disappear
+	if got := SubdivideByCount([]Range{{5, 5}}, 4); len(got) != 0 {
+		t.Errorf("empty range subdivided into %v", got)
+	}
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 500, S: 1.0, MaxDegree: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// countKernel counts how many times each destination receives an update from
+// an active source; used to validate traversal coverage.
+func countKernel(n int) (EdgeKernel, []int64) {
+	counts := make([]int64, n)
+	k := EdgeKernel{
+		Update: func(s, d graph.VertexID, _ int32) bool {
+			counts[d]++
+			return true
+		},
+	}
+	k.UpdateAtomic = k.Update // tests run single-threaded workers below
+	return k, counts
+}
+
+func TestDensePullVisitsEveryEdgeOnce(t *testing.T) {
+	g := testGraph(t)
+	k, counts := countKernel(g.NumVertices())
+	units := SplitRange(g.NumVertices(), 64)
+	out, costs := DensePull(g, frontier.All(g), k, units, 1)
+	for v := 0; v < g.NumVertices(); v++ {
+		if counts[v] != g.InDegree(graph.VertexID(v)) {
+			t.Fatalf("vertex %d updated %d times, in-degree %d",
+				v, counts[v], g.InDegree(graph.VertexID(v)))
+		}
+	}
+	if len(costs) != len(units) {
+		t.Fatalf("%d unit costs for %d units", len(costs), len(units))
+	}
+	// every vertex with an in-edge must be active in the output
+	for v := 0; v < g.NumVertices(); v++ {
+		wantActive := g.InDegree(graph.VertexID(v)) > 0
+		if out.Has(graph.VertexID(v)) != wantActive {
+			t.Fatalf("vertex %d active=%v, want %v", v, out.Has(graph.VertexID(v)), wantActive)
+		}
+	}
+}
+
+func TestSparsePushVisitsFrontierEdges(t *testing.T) {
+	g := testGraph(t)
+	k, counts := countKernel(g.NumVertices())
+	srcs := []graph.VertexID{1, 5, 9}
+	f := frontier.FromVertices(g, srcs)
+	out, _ := SparsePush(g, f, k, 2, 1)
+	want := make([]int64, g.NumVertices())
+	activeDst := map[graph.VertexID]bool{}
+	for _, s := range srcs {
+		for _, d := range g.OutNeighbors(s) {
+			want[d]++
+			activeDst[d] = true
+		}
+	}
+	for v := range counts {
+		if counts[v] != want[v] {
+			t.Fatalf("dst %d updated %d times, want %d", v, counts[v], want[v])
+		}
+	}
+	if out.Count() != int64(len(activeDst)) {
+		t.Fatalf("out frontier has %d vertices, want %d", out.Count(), len(activeDst))
+	}
+}
+
+func TestDenseCOOMatchesDensePull(t *testing.T) {
+	g := testGraph(t)
+	units := SplitRange(g.NumVertices(), 100)
+	coos, err := BuildPartitionCOOs(g, units, layout.HilbertOrder, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, c1 := countKernel(g.NumVertices())
+	DensePull(g, frontier.All(g), k1, units, 1)
+	k2, c2 := countKernel(g.NumVertices())
+	DenseCOO(g, frontier.All(g), k2, coos, units, 1)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("DenseCOO and DensePull disagree on update counts")
+	}
+}
+
+func TestDensePullRespectsCond(t *testing.T) {
+	g := testGraph(t)
+	// Cond rejects everything: no updates at all.
+	called := false
+	k := EdgeKernel{
+		Update:       func(s, d graph.VertexID, _ int32) bool { called = true; return true },
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool { called = true; return true },
+		Cond:         func(d graph.VertexID) bool { return false },
+	}
+	out, _ := DensePull(g, frontier.All(g), k, SplitRange(g.NumVertices(), 64), 1)
+	if called {
+		t.Error("kernel called despite Cond == false")
+	}
+	if !out.IsEmpty() {
+		t.Error("output frontier not empty")
+	}
+}
+
+func TestSparsePushDeduplicatesOutput(t *testing.T) {
+	// two sources pointing at the same destination: output contains it once.
+	edges := []graph.Edge{{Src: 0, Dst: 2}, {Src: 1, Dst: 2}}
+	g, err := graph.FromEdges(3, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := EdgeKernel{}
+	k.Update = func(s, d graph.VertexID, _ int32) bool { return true }
+	k.UpdateAtomic = k.Update
+	out, _ := SparsePush(g, frontier.FromVertices(g, []graph.VertexID{0, 1}), k, 1, 2)
+	if out.Count() != 1 || !out.Has(2) {
+		t.Fatalf("out frontier = %v vertices", out.Count())
+	}
+}
+
+func TestVertexMapVariants(t *testing.T) {
+	g := testGraph(t)
+	f := frontier.FromVertices(g, []graph.VertexID{2, 4, 6, 8})
+	keepEven := func(v graph.VertexID) bool { return v%4 == 0 }
+	outD, _ := VertexMapDynamic(g, f, keepEven, 2, 2)
+	f2 := frontier.FromVertices(g, []graph.VertexID{2, 4, 6, 8})
+	outS, _ := VertexMapStatic(g, f2, keepEven, 4, 2)
+	for _, v := range []graph.VertexID{4, 8} {
+		if !outD.Has(v) || !outS.Has(v) {
+			t.Fatalf("vertex %d missing from output", v)
+		}
+	}
+	if outD.Count() != 2 || outS.Count() != 2 {
+		t.Fatalf("counts %d/%d, want 2/2", outD.Count(), outS.Count())
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	if StepEdgeMapSparse.String() != "edgemap-sparse" ||
+		StepEdgeMapDense.String() != "edgemap-dense" ||
+		StepVertexMap.String() != "vertexmap" ||
+		StepKind(9).String() != "unknown" {
+		t.Error("StepKind labels wrong")
+	}
+}
+
+func TestMetricsAccumulation(t *testing.T) {
+	var m Metrics
+	m.Add(Step{Kind: StepEdgeMapDense, Makespan: 10})
+	m.Add(Step{Kind: StepVertexMap, Makespan: 5})
+	if m.ModelTime != 15 {
+		t.Errorf("ModelTime = %d", m.ModelTime)
+	}
+	if m.EdgeMapTime() != 10 || m.VertexMapTime() != 5 {
+		t.Errorf("split times wrong: %d/%d", m.EdgeMapTime(), m.VertexMapTime())
+	}
+	if m.LastStep().Kind != StepVertexMap {
+		t.Error("LastStep wrong")
+	}
+	m.Reset()
+	if m.ModelTime != 0 || len(m.Steps) != 0 || m.LastStep() != nil {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Topology.Threads() != 48 {
+		t.Errorf("default topology has %d threads", c.Topology.Threads())
+	}
+	if c.SparseChunk != 64 {
+		t.Errorf("default chunk = %d", c.SparseChunk)
+	}
+}

@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// Range is a half-open destination-vertex range used as a scheduling unit.
+type Range struct {
+	Lo, Hi graph.VertexID
+}
+
+// SplitRange cuts [0, n) into units of the given size.
+func SplitRange(n, unit int) []Range {
+	if unit < 1 {
+		unit = 1
+	}
+	out := make([]Range, 0, (n+unit-1)/unit)
+	for lo := 0; lo < n; lo += unit {
+		hi := lo + unit
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{graph.VertexID(lo), graph.VertexID(hi)})
+	}
+	return out
+}
+
+// SubdivideByCount splits each range into k sub-ranges of near-equal vertex
+// count, preserving order (Polymer's intra-socket static split).
+func SubdivideByCount(ranges []Range, k int) []Range {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]Range, 0, len(ranges)*k)
+	for _, r := range ranges {
+		n := int(r.Hi - r.Lo)
+		per := (n + k - 1) / k
+		if per == 0 {
+			per = 1
+		}
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			out = append(out, Range{r.Lo + graph.VertexID(lo), r.Lo + graph.VertexID(hi)})
+		}
+	}
+	return out
+}
+
+// SubdivideByEdges splits each range into at most k sub-ranges of
+// near-equal in-edge count (Algorithm-1-style greedy chunking), preserving
+// order. This is Polymer's intra-socket work division: threads receive
+// edge-balanced chunks of their socket's partition.
+func SubdivideByEdges(g *graph.Graph, ranges []Range, k int) []Range {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]Range, 0, len(ranges)*k)
+	for _, r := range ranges {
+		var edges int64
+		for v := r.Lo; v < r.Hi; v++ {
+			edges += g.InDegree(v)
+		}
+		target := edges / int64(k)
+		lo := r.Lo
+		var acc int64
+		emitted := 0
+		for v := r.Lo; v < r.Hi; v++ {
+			if acc >= target && target > 0 && emitted < k-1 {
+				out = append(out, Range{lo, v})
+				lo = v
+				acc = 0
+				emitted++
+			}
+			acc += g.InDegree(v)
+		}
+		if lo < r.Hi {
+			out = append(out, Range{lo, r.Hi})
+		}
+	}
+	return out
+}
+
+// DensePull performs a pull-direction edgemap: every destination in every
+// unit scans its in-neighbours for active sources while the kernel's Cond
+// holds. Units own disjoint destination ranges, so the non-atomic
+// kernel.Update is safe. Workers execute units with real goroutines;
+// unitCosts are returned for makespan modeling.
+func DensePull(g *graph.Graph, f *frontier.Frontier, k EdgeKernel, units []Range, workers int) (*frontier.Frontier, []int64) {
+	in := f.Dense()
+	out := make([]bool, g.NumVertices())
+	unitCosts := make([]int64, len(units))
+	sched.DynamicItems(workers, len(units), func(_, u int) {
+		r := units[u]
+		var cost int64
+		for d := r.Lo; d < r.Hi; d++ {
+			cost += CostVertex
+			if !k.cond(d) {
+				continue
+			}
+			ws := g.InWeights(d)
+			for i, s := range g.InNeighbors(d) {
+				cost += CostEdge
+				if in[s] && k.Update(s, d, ws[i]) {
+					out[d] = true
+				}
+				if !k.cond(d) {
+					break
+				}
+			}
+		}
+		unitCosts[u] = cost
+	})
+	return frontier.FromDense(g, out), unitCosts
+}
+
+// DenseCOO performs GraphGrind's dense edgemap: each unit is a
+// pre-materialized COO of one partition's in-edges, traversed in its stored
+// order (CSR or Hilbert). ranges supplies the destination-vertex range of
+// each partition: per-unit cost charges every owned vertex (the engine also
+// walks per-partition vertex state) plus every edge. Partitions own disjoint
+// destination sets, so the non-atomic kernel is safe.
+func DenseCOO(g *graph.Graph, f *frontier.Frontier, k EdgeKernel, coos []*layout.COO, ranges []Range, workers int) (*frontier.Frontier, []int64) {
+	in := f.Dense()
+	out := make([]bool, g.NumVertices())
+	unitCosts := make([]int64, len(coos))
+	sched.DynamicItems(workers, len(coos), func(_, u int) {
+		c := coos[u]
+		cost := int64(CostVertex) * int64(ranges[u].Hi-ranges[u].Lo)
+		for i := 0; i < c.Len(); i++ {
+			cost += CostEdge
+			d := c.Dst[i]
+			if !in[c.Src[i]] || !k.cond(d) {
+				continue
+			}
+			if k.Update(c.Src[i], d, c.Weight[i]) {
+				out[d] = true
+			}
+		}
+		unitCosts[u] = cost
+	})
+	return frontier.FromDense(g, out), unitCosts
+}
+
+// SparsePush performs a push-direction edgemap: active sources push along
+// their out-edges using the atomic kernel. The frontier is cut into chunks
+// of chunkSize sources; chunk costs are returned for makespan modeling.
+func SparsePush(g *graph.Graph, f *frontier.Frontier, k EdgeKernel, chunkSize, workers int) (*frontier.Frontier, []int64) {
+	srcs := f.Sparse()
+	nChunks := (len(srcs) + chunkSize - 1) / chunkSize
+	unitCosts := make([]int64, nChunks)
+	flags := make([]uint32, g.NumVertices())
+	outPerWorker := make([][]graph.VertexID, workers)
+	sched.DynamicChunks(workers, len(srcs), chunkSize, func(w, lo, hi int) {
+		var cost int64
+		local := outPerWorker[w]
+		for _, s := range srcs[lo:hi] {
+			cost += CostVertex
+			ws := g.OutWeights(s)
+			for i, d := range g.OutNeighbors(s) {
+				cost += CostEdge
+				if !k.cond(d) {
+					continue
+				}
+				if k.UpdateAtomic(s, d, ws[i]) {
+					if atomic.CompareAndSwapUint32(&flags[d], 0, 1) {
+						local = append(local, d)
+					}
+				}
+			}
+		}
+		outPerWorker[w] = local
+		unitCosts[lo/chunkSize] += cost
+	})
+	var total int
+	for _, l := range outPerWorker {
+		total += len(l)
+	}
+	outs := make([]graph.VertexID, 0, total)
+	for _, l := range outPerWorker {
+		outs = append(outs, l...)
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+	return frontier.FromVertices(g, outs), unitCosts
+}
+
+// VertexMapDynamic applies fn to the active vertices with dynamic chunking
+// (Ligra). Returns the output frontier and per-chunk costs.
+func VertexMapDynamic(g *graph.Graph, f *frontier.Frontier, fn func(v graph.VertexID) bool, chunkSize, workers int) (*frontier.Frontier, []int64) {
+	vs := f.Sparse()
+	nChunks := (len(vs) + chunkSize - 1) / chunkSize
+	unitCosts := make([]int64, nChunks)
+	keep := make([]bool, len(vs))
+	sched.DynamicChunks(workers, len(vs), chunkSize, func(_, lo, hi int) {
+		var cost int64
+		for i := lo; i < hi; i++ {
+			cost += CostVertex
+			keep[i] = fn(vs[i])
+		}
+		unitCosts[lo/chunkSize] += cost
+	})
+	out := make([]graph.VertexID, 0, len(vs))
+	for i, v := range vs {
+		if keep[i] {
+			out = append(out, v)
+		}
+	}
+	return frontier.FromVertices(g, out), unitCosts
+}
+
+// VertexMapStatic applies fn to active vertices with the full vertex range
+// [0, n) statically divided into `units` contiguous blocks, as Polymer and
+// GraphGrind spread vertexmap iterations over all threads regardless of
+// activity. Per-block cost counts only active vertices (inactive slots are
+// skipped by the frontier check).
+func VertexMapStatic(g *graph.Graph, f *frontier.Frontier, fn func(v graph.VertexID) bool, units, workers int) (*frontier.Frontier, []int64) {
+	n := g.NumVertices()
+	in := f.Dense()
+	out := make([]bool, n)
+	ranges := SplitRange(n, (n+units-1)/max(units, 1))
+	unitCosts := make([]int64, len(ranges))
+	sched.DynamicItems(workers, len(ranges), func(_, u int) {
+		var cost int64
+		r := ranges[u]
+		for v := r.Lo; v < r.Hi; v++ {
+			if !in[v] {
+				continue
+			}
+			cost += CostVertex
+			if fn(v) {
+				out[v] = true
+			}
+		}
+		unitCosts[u] = cost
+	})
+	return frontier.FromDense(g, out), unitCosts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BuildPartitionCOOs materializes one COO per destination range in the given
+// order, in parallel.
+func BuildPartitionCOOs(g *graph.Graph, ranges []Range, o layout.Order, workers int) ([]*layout.COO, error) {
+	coos := make([]*layout.COO, len(ranges))
+	var mu sync.Mutex
+	var firstErr error
+	sched.DynamicItems(workers, len(ranges), func(_, i int) {
+		c, err := layout.BuildRange(g, ranges[i].Lo, ranges[i].Hi, o)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		coos[i] = c
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return coos, nil
+}

@@ -1,0 +1,393 @@
+// Package graph provides the in-memory graph representations used throughout
+// the VEBO reproduction: compressed sparse row (CSR, out-edges), compressed
+// sparse column (CSC, in-edges) and coordinate (COO) forms, together with
+// construction, transposition, relabelling and characterization utilities.
+//
+// Vertex identifiers are dense uint32 values in [0, NumVertices). Edge counts
+// use int64 so that graphs larger than 2^31 edges remain representable even
+// though the test workloads are far smaller.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: every value in
+// [0, Graph.NumVertices()) names a vertex.
+type VertexID = uint32
+
+// Edge is a single directed edge with an optional weight. Unweighted graphs
+// carry Weight 1 on every edge.
+type Edge struct {
+	Src    VertexID
+	Dst    VertexID
+	Weight int32
+}
+
+// Graph is a directed graph stored simultaneously in CSR (out-edges, grouped
+// by source) and CSC (in-edges, grouped by destination) form. Both views are
+// built once at construction and are immutable afterwards; the processing
+// engines read whichever view suits the traversal direction.
+type Graph struct {
+	n int // number of vertices
+
+	// CSR: out-edges. outOff has n+1 entries; the out-neighbours of v are
+	// outDst[outOff[v]:outOff[v+1]] with weights outW at the same indices.
+	outOff []int64
+	outDst []VertexID
+	outW   []int32
+
+	// CSC: in-edges. inOff has n+1 entries; the in-neighbours (sources of
+	// edges pointing at v) are inSrc[inOff[v]:inOff[v+1]].
+	inOff []int64
+	inSrc []VertexID
+	inW   []int32
+
+	weighted bool
+}
+
+// NumVertices reports the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges reports the number of directed edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outDst)) }
+
+// Weighted reports whether the graph carries non-unit edge weights.
+func (g *Graph) Weighted() bool { return g.weighted }
+
+// OutDegree reports the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int64 { return g.outOff[v+1] - g.outOff[v] }
+
+// InDegree reports the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int64 { return g.inOff[v+1] - g.inOff[v] }
+
+// OutNeighbors returns the slice of destinations of v's out-edges. The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outDst[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InNeighbors returns the slice of sources of v's in-edges. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inSrc[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutWeights returns the weights parallel to OutNeighbors(v).
+func (g *Graph) OutWeights(v VertexID) []int32 {
+	return g.outW[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InWeights returns the weights parallel to InNeighbors(v).
+func (g *Graph) InWeights(v VertexID) []int32 {
+	return g.inW[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutOffsets exposes the CSR offset array (length n+1). Read-only.
+func (g *Graph) OutOffsets() []int64 { return g.outOff }
+
+// InOffsets exposes the CSC offset array (length n+1). Read-only.
+func (g *Graph) InOffsets() []int64 { return g.inOff }
+
+// OutEdgeTargets exposes the flat CSR destination array. Read-only.
+func (g *Graph) OutEdgeTargets() []VertexID { return g.outDst }
+
+// InEdgeSources exposes the flat CSC source array. Read-only.
+func (g *Graph) InEdgeSources() []VertexID { return g.inSrc }
+
+// MaxInDegree returns the largest in-degree in the graph.
+func (g *Graph) MaxInDegree() int64 {
+	var m int64
+	for v := 0; v < g.n; v++ {
+		if d := g.inOff[v+1] - g.inOff[v]; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxOutDegree returns the largest out-degree in the graph.
+func (g *Graph) MaxOutDegree() int64 {
+	var m int64
+	for v := 0; v < g.n; v++ {
+		if d := g.outOff[v+1] - g.outOff[v]; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// CountZeroInDegree returns the number of vertices with in-degree zero.
+func (g *Graph) CountZeroInDegree() int {
+	c := 0
+	for v := 0; v < g.n; v++ {
+		if g.inOff[v+1] == g.inOff[v] {
+			c++
+		}
+	}
+	return c
+}
+
+// CountZeroOutDegree returns the number of vertices with out-degree zero.
+func (g *Graph) CountZeroOutDegree() int {
+	c := 0
+	for v := 0; v < g.n; v++ {
+		if g.outOff[v+1] == g.outOff[v] {
+			c++
+		}
+	}
+	return c
+}
+
+// InDegrees returns a freshly allocated slice of all in-degrees.
+func (g *Graph) InDegrees() []int64 {
+	d := make([]int64, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.inOff[v+1] - g.inOff[v]
+	}
+	return d
+}
+
+// OutDegrees returns a freshly allocated slice of all out-degrees.
+func (g *Graph) OutDegrees() []int64 {
+	d := make([]int64, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.outOff[v+1] - g.outOff[v]
+	}
+	return d
+}
+
+// Edges materializes the edge list in CSR order (sorted by source, then by
+// the order destinations appear in the CSR arrays).
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, len(g.outDst))
+	for v := 0; v < g.n; v++ {
+		for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+			edges = append(edges, Edge{Src: VertexID(v), Dst: g.outDst[i], Weight: g.outW[i]})
+		}
+	}
+	return edges
+}
+
+// FromEdges builds a Graph from an edge list. The edge list may be in any
+// order; self-loops and parallel edges are retained (graph frameworks such as
+// Ligra keep them, and the balance analysis counts every edge). weighted
+// controls whether the per-edge weights are preserved; when false all weights
+// are forced to 1.
+func FromEdges(n int, edges []Edge, weighted bool) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range n=%d", e.Src, e.Dst, n)
+		}
+	}
+	g := &Graph{n: n, weighted: weighted}
+	g.outOff = make([]int64, n+1)
+	g.inOff = make([]int64, n+1)
+	for _, e := range edges {
+		g.outOff[e.Src+1]++
+		g.inOff[e.Dst+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	m := int64(len(edges))
+	g.outDst = make([]VertexID, m)
+	g.outW = make([]int32, m)
+	g.inSrc = make([]VertexID, m)
+	g.inW = make([]int32, m)
+	outNext := make([]int64, n)
+	inNext := make([]int64, n)
+	copy(outNext, g.outOff[:n])
+	copy(inNext, g.inOff[:n])
+	for _, e := range edges {
+		w := e.Weight
+		if !weighted || w == 0 {
+			w = 1
+		}
+		oi := outNext[e.Src]
+		g.outDst[oi] = e.Dst
+		g.outW[oi] = w
+		outNext[e.Src]++
+		ii := inNext[e.Dst]
+		g.inSrc[ii] = e.Src
+		g.inW[ii] = w
+		inNext[e.Dst]++
+	}
+	// Keep neighbour lists sorted for deterministic traversal and binary
+	// searchability.
+	g.sortAdjacency()
+	return g, nil
+}
+
+// sortAdjacency sorts each vertex's out- and in-neighbour list ascending,
+// keeping weights parallel.
+func (g *Graph) sortAdjacency() {
+	for v := 0; v < g.n; v++ {
+		sortAdjRange(g.outDst, g.outW, g.outOff[v], g.outOff[v+1])
+		sortAdjRange(g.inSrc, g.inW, g.inOff[v], g.inOff[v+1])
+	}
+}
+
+func sortAdjRange(ids []VertexID, ws []int32, lo, hi int64) {
+	if hi-lo < 2 {
+		return
+	}
+	seg := adjSegment{ids: ids[lo:hi], ws: ws[lo:hi]}
+	sort.Sort(seg)
+}
+
+type adjSegment struct {
+	ids []VertexID
+	ws  []int32
+}
+
+func (s adjSegment) Len() int           { return len(s.ids) }
+func (s adjSegment) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s adjSegment) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]
+}
+
+// Transpose returns the graph with every edge reversed.
+func (g *Graph) Transpose() *Graph {
+	t := &Graph{
+		n:        g.n,
+		weighted: g.weighted,
+		outOff:   g.inOff,
+		outDst:   g.inSrc,
+		outW:     g.inW,
+		inOff:    g.outOff,
+		inSrc:    g.outDst,
+		inW:      g.outW,
+	}
+	return t
+}
+
+// Relabel returns a new graph in which every vertex v of g becomes perm[v].
+// perm must be a permutation of [0, n). Edge (u,v) becomes
+// (perm[u], perm[v]); the result is isomorphic to g.
+func (g *Graph) Relabel(perm []VertexID) (*Graph, error) {
+	if len(perm) != g.n {
+		return nil, fmt.Errorf("graph: permutation length %d != n %d", len(perm), g.n)
+	}
+	seen := make([]bool, g.n)
+	for _, p := range perm {
+		if int(p) >= g.n || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not a permutation (value %d)", p)
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < g.n; v++ {
+		for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+			edges = append(edges, Edge{
+				Src:    perm[v],
+				Dst:    perm[g.outDst[i]],
+				Weight: g.outW[i],
+			})
+		}
+	}
+	return FromEdges(g.n, edges, g.weighted)
+}
+
+// DegreeHistogramIn returns counts[d] = number of vertices with in-degree d,
+// for d in [0, MaxInDegree].
+func (g *Graph) DegreeHistogramIn() []int64 {
+	maxd := g.MaxInDegree()
+	counts := make([]int64, maxd+1)
+	for v := 0; v < g.n; v++ {
+		counts[g.inOff[v+1]-g.inOff[v]]++
+	}
+	return counts
+}
+
+// HasEdge reports whether the directed edge (u,v) exists, using binary search
+// over u's sorted out-neighbour list.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	nbrs := g.OutNeighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Stats summarizes a graph in the shape of the paper's Table I row.
+type Stats struct {
+	Vertices       int
+	Edges          int64
+	MaxInDegree    int64
+	MaxOutDegree   int64
+	ZeroInDegree   int     // count of vertices with in-degree 0
+	ZeroOutDegree  int     // count of vertices with out-degree 0
+	ZeroInPercent  float64 // 100*ZeroInDegree/Vertices
+	ZeroOutPercent float64
+}
+
+// Characterize computes the Table I characterization of g.
+func (g *Graph) Characterize() Stats {
+	s := Stats{
+		Vertices:      g.n,
+		Edges:         g.NumEdges(),
+		MaxInDegree:   g.MaxInDegree(),
+		MaxOutDegree:  g.MaxOutDegree(),
+		ZeroInDegree:  g.CountZeroInDegree(),
+		ZeroOutDegree: g.CountZeroOutDegree(),
+	}
+	if g.n > 0 {
+		s.ZeroInPercent = 100 * float64(s.ZeroInDegree) / float64(g.n)
+		s.ZeroOutPercent = 100 * float64(s.ZeroOutDegree) / float64(g.n)
+	}
+	return s
+}
+
+// Equal reports whether two graphs have identical vertex counts and identical
+// sorted adjacency structure (weights included).
+func Equal(a, b *Graph) bool {
+	if a.n != b.n || len(a.outDst) != len(b.outDst) {
+		return false
+	}
+	for v := 0; v <= a.n; v++ {
+		if a.outOff[v] != b.outOff[v] {
+			return false
+		}
+	}
+	for i := range a.outDst {
+		if a.outDst[i] != b.outDst[i] || a.outW[i] != b.outW[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIsomorphicUnder verifies that h is the image of g under the vertex
+// permutation perm, i.e. that (u,v) ∈ g ⇔ (perm[u],perm[v]) ∈ h with equal
+// multiplicity and weight multiset. It is used by tests to validate
+// reordering implementations.
+func IsIsomorphicUnder(g, h *Graph, perm []VertexID) bool {
+	if g.n != h.n || g.NumEdges() != h.NumEdges() || len(perm) != g.n {
+		return false
+	}
+	type key struct {
+		s, d VertexID
+		w    int32
+	}
+	counts := make(map[key]int, g.NumEdges())
+	for v := 0; v < g.n; v++ {
+		for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+			counts[key{perm[v], perm[g.outDst[i]], g.outW[i]}]++
+		}
+	}
+	for v := 0; v < h.n; v++ {
+		for i := h.outOff[v]; i < h.outOff[v+1]; i++ {
+			k := key{VertexID(v), h.outDst[i], h.outW[i]}
+			counts[k]--
+			if counts[k] == 0 {
+				delete(counts, k)
+			}
+		}
+	}
+	return len(counts) == 0
+}

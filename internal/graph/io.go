@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text formats implemented here mirror the Ligra adjacency format used by
+// the paper's artifact:
+//
+//	AdjacencyGraph
+//	<n>
+//	<m>
+//	<offset 0> ... <offset n-1>
+//	<target 0> ... <target m-1>
+//
+// WeightedAdjacencyGraph appends m weights after the targets. An edge-list
+// format ("<src> <dst> [weight]" per line) is also supported for
+// interoperability with SNAP-style downloads.
+
+const (
+	headerAdjacency         = "AdjacencyGraph"
+	headerWeightedAdjacency = "WeightedAdjacencyGraph"
+)
+
+// WriteAdjacency serializes g in (Weighted)AdjacencyGraph format. The CSR
+// view (out-edges) is written.
+func WriteAdjacency(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	header := headerAdjacency
+	if g.weighted {
+		header = headerWeightedAdjacency
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", header, g.n, g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.n; v++ {
+		if _, err := fmt.Fprintf(bw, "%d\n", g.outOff[v]); err != nil {
+			return err
+		}
+	}
+	for _, d := range g.outDst {
+		if _, err := fmt.Fprintf(bw, "%d\n", d); err != nil {
+			return err
+		}
+	}
+	if g.weighted {
+		for _, wt := range g.outW {
+			if _, err := fmt.Fprintf(bw, "%d\n", wt); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacency parses a (Weighted)AdjacencyGraph stream.
+func ReadAdjacency(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	sc.Split(bufio.ScanWords)
+	next := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	nextInt := func() (int64, error) {
+		tok, err := next()
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseInt(tok, 10, 64)
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, err
+	}
+	weighted := false
+	switch header {
+	case headerAdjacency:
+	case headerWeightedAdjacency:
+		weighted = true
+	default:
+		return nil, fmt.Errorf("graph: unknown header %q", header)
+	}
+	n64, err := nextInt()
+	if err != nil {
+		return nil, err
+	}
+	m, err := nextInt()
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: invalid sizes n=%d m=%d", n, m)
+	}
+	off := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		off[v], err = nextInt()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading offset %d: %w", v, err)
+		}
+	}
+	off[n] = m
+	for v := 0; v < n; v++ {
+		if off[v] > off[v+1] || off[v] < 0 {
+			return nil, fmt.Errorf("graph: non-monotonic offset at vertex %d", v)
+		}
+	}
+	edges := make([]Edge, 0, m)
+	dsts := make([]VertexID, m)
+	for i := int64(0); i < m; i++ {
+		d, err := nextInt()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading target %d: %w", i, err)
+		}
+		if d < 0 || d >= n64 {
+			return nil, fmt.Errorf("graph: target %d out of range", d)
+		}
+		dsts[i] = VertexID(d)
+	}
+	weights := make([]int32, m)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if weighted {
+		for i := int64(0); i < m; i++ {
+			w, err := nextInt()
+			if err != nil {
+				return nil, fmt.Errorf("graph: reading weight %d: %w", i, err)
+			}
+			weights[i] = int32(w)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for i := off[v]; i < off[v+1]; i++ {
+			edges = append(edges, Edge{Src: VertexID(v), Dst: dsts[i], Weight: weights[i]})
+		}
+	}
+	return FromEdges(n, edges, weighted)
+}
+
+// WriteEdgeList serializes g as "<src> <dst> <weight>" lines (weight omitted
+// for unweighted graphs).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for v := 0; v < g.n; v++ {
+		for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+			var err error
+			if g.weighted {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", v, g.outDst[i], g.outW[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, g.outDst[i])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses whitespace-separated "<src> <dst> [weight]" lines.
+// Lines beginning with '#' or '%' are comments. The vertex count is one more
+// than the largest ID seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var edges []Edge
+	weighted := false
+	maxID := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least 2 fields", lineNo)
+		}
+		s, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		d, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if s < 0 || d < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		w := int64(1)
+		if len(fields) >= 3 {
+			w, err = strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			weighted = true
+		}
+		if s > maxID {
+			maxID = s
+		}
+		if d > maxID {
+			maxID = d
+		}
+		edges = append(edges, Edge{Src: VertexID(s), Dst: VertexID(d), Weight: int32(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(int(maxID+1), edges, weighted)
+}

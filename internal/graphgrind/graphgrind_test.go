@@ -1,0 +1,175 @@
+package graphgrind
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/numa"
+)
+
+var top = numa.Topology{Sockets: 2, ThreadsPerSocket: 2}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 2000, S: 1.0, MaxDegree: 100, ZeroInFrac: 0.1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newEngine(t *testing.T, g *graph.Graph, parts int, o layout.Order, bounds []int64) *GraphGrind {
+	t.Helper()
+	gg, err := New(g, Config{
+		Engine:     engine.Config{Topology: top},
+		Partitions: parts,
+		Order:      o,
+		Bounds:     bounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gg
+}
+
+func TestNewDefaults(t *testing.T) {
+	g := testGraph(t)
+	gg, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gg.Partitions()) != DefaultPartitions {
+		t.Fatalf("partitions = %d, want %d", len(gg.Partitions()), DefaultPartitions)
+	}
+	if gg.Name() != "graphgrind" {
+		t.Fatal("wrong name")
+	}
+	if gg.EdgeOrder() != layout.CSROrder {
+		t.Fatalf("default order = %v", gg.EdgeOrder())
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	g := testGraph(t)
+	_, err := New(g, Config{Partitions: 4, Bounds: []int64{0, 10}})
+	if err == nil {
+		t.Fatal("expected bounds length error")
+	}
+}
+
+func TestDenseEdgeMapRecordsPartitionCosts(t *testing.T) {
+	g := testGraph(t)
+	gg := newEngine(t, g, 16, layout.CSROrder, nil)
+	k := engine.EdgeKernel{
+		Update:       func(s, d graph.VertexID, _ int32) bool { return true },
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool { return true },
+	}
+	gg.EdgeMap(frontier.All(g), k)
+	step := gg.Metrics().LastStep()
+	if step.Kind != engine.StepEdgeMapDense {
+		t.Fatalf("step kind = %v", step.Kind)
+	}
+	if len(step.PartitionCosts) != 16 {
+		t.Fatalf("partition costs = %d entries", len(step.PartitionCosts))
+	}
+	if step.Makespan <= 0 || step.TotalCost <= 0 {
+		t.Fatalf("bad accounting: %+v", step)
+	}
+}
+
+func TestSparseEdgeMapUsed(t *testing.T) {
+	g := testGraph(t)
+	gg := newEngine(t, g, 16, layout.CSROrder, nil)
+	k := engine.EdgeKernel{
+		Update:       func(s, d graph.VertexID, _ int32) bool { return false },
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool { return false },
+	}
+	gg.EdgeMap(frontier.FromVertex(g, 5), k)
+	if got := gg.Metrics().LastStep().Kind; got != engine.StepEdgeMapSparse {
+		t.Fatalf("tiny frontier used %v", got)
+	}
+}
+
+// VEBO bounds must produce near-equal per-partition dense costs, unlike
+// Algorithm 1 on the original order.
+func TestVEBOBalancesPartitionCosts(t *testing.T) {
+	g := testGraph(t)
+	const P = 16
+	r, err := core.Reorder(g, P, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := core.Apply(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := engine.EdgeKernel{
+		Update:       func(s, d graph.VertexID, _ int32) bool { return true },
+		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool { return true },
+	}
+
+	spread := func(gg *GraphGrind, g *graph.Graph) float64 {
+		gg.EdgeMap(frontier.All(g), k)
+		costs := gg.Metrics().LastStep().PartitionCosts
+		lo, hi := costs[0], costs[0]
+		for _, c := range costs {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if lo == 0 {
+			lo = 1
+		}
+		return float64(hi) / float64(lo)
+	}
+
+	orig := spread(newEngine(t, g, P, layout.CSROrder, nil), g)
+	vebo := spread(newEngine(t, rg, P, layout.CSROrder, r.Boundaries()), rg)
+	if vebo >= orig {
+		t.Errorf("VEBO cost spread %.2f not better than original %.2f", vebo, orig)
+	}
+	if vebo > 1.2 {
+		t.Errorf("VEBO cost spread %.2f, want near 1", vebo)
+	}
+}
+
+func TestHilbertAndCSRProduceSameResults(t *testing.T) {
+	g := testGraph(t)
+	counts := func(o layout.Order) []int64 {
+		c := make([]int64, g.NumVertices())
+		k := engine.EdgeKernel{
+			Update: func(s, d graph.VertexID, _ int32) bool { c[d]++; return false },
+		}
+		k.UpdateAtomic = k.Update
+		gg := newEngine(t, g, 8, o, nil)
+		gg.EdgeMap(frontier.All(g), k)
+		return c
+	}
+	a := counts(layout.CSROrder)
+	b := counts(layout.HilbertOrder)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("order-dependent result at %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestVertexMapStaticMakespan(t *testing.T) {
+	g := testGraph(t)
+	gg := newEngine(t, g, 8, layout.CSROrder, nil)
+	out := gg.VertexMap(frontier.All(g), func(v graph.VertexID) bool { return v%2 == 0 })
+	if out.Count() != int64((g.NumVertices()+1)/2) {
+		t.Fatalf("vertexmap kept %d vertices", out.Count())
+	}
+	if gg.Metrics().LastStep().Kind != engine.StepVertexMap {
+		t.Fatal("missing vertexmap step")
+	}
+}

@@ -1,0 +1,71 @@
+// Package hilbert implements the Hilbert space-filling curve mapping used to
+// reorder COO edge lists (Section V-G of the paper, following the usage in
+// Naiad and GraphGrind). The curve visits every cell of a 2^k × 2^k grid
+// exactly once, with consecutive curve positions at Manhattan distance 1 —
+// traversing edges (src, dst) in curve order therefore keeps both the source
+// and the destination working sets compact.
+package hilbert
+
+// D2XY converts a distance d along the Hilbert curve of order k (a 2^k × 2^k
+// grid) to grid coordinates (x, y). d must be in [0, 4^k).
+func D2XY(k uint, d uint64) (x, y uint32) {
+	var rx, ry uint64
+	t := d
+	var xx, yy uint64
+	for s := uint64(1); s < 1<<k; s <<= 1 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		xx, yy = rot(s, xx, yy, rx, ry)
+		xx += s * rx
+		yy += s * ry
+		t /= 4
+	}
+	return uint32(xx), uint32(yy)
+}
+
+// XY2D converts grid coordinates (x, y) on the 2^k × 2^k grid to the
+// distance along the Hilbert curve of order k.
+func XY2D(k uint, x, y uint32) uint64 {
+	var rx, ry, d uint64
+	xx, yy := uint64(x), uint64(y)
+	for s := uint64(1) << (k - 1); s > 0; s >>= 1 {
+		if xx&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if yy&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		xx, yy = rot(s, xx, yy, rx, ry)
+	}
+	return d
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(s, x, y, rx, ry uint64) (uint64, uint64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// OrderFor returns the smallest curve order k such that the 2^k grid covers
+// coordinates in [0, n).
+func OrderFor(n int) uint {
+	k := uint(0)
+	for (1 << k) < n {
+		k++
+	}
+	if k == 0 {
+		k = 1 // curve of order 0 is a single cell; keep ≥ 2x2 for sanity
+	}
+	return k
+}

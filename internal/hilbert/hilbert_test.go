@@ -1,0 +1,78 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSmall(t *testing.T) {
+	const k = 4
+	n := uint64(1) << (2 * k)
+	seen := make(map[[2]uint32]bool)
+	for d := uint64(0); d < n; d++ {
+		x, y := D2XY(k, d)
+		if x >= 1<<k || y >= 1<<k {
+			t.Fatalf("d=%d maps off-grid to (%d,%d)", d, x, y)
+		}
+		if seen[[2]uint32{x, y}] {
+			t.Fatalf("cell (%d,%d) visited twice", x, y)
+		}
+		seen[[2]uint32{x, y}] = true
+		if back := XY2D(k, x, y); back != d {
+			t.Fatalf("XY2D(D2XY(%d)) = %d", d, back)
+		}
+	}
+	if len(seen) != int(n) {
+		t.Fatalf("visited %d cells, want %d", len(seen), n)
+	}
+}
+
+func TestAdjacentCellsAreNeighbours(t *testing.T) {
+	const k = 5
+	n := uint64(1) << (2 * k)
+	px, py := D2XY(k, 0)
+	for d := uint64(1); d < n; d++ {
+		x, y := D2XY(k, d)
+		dist := absDiff(x, px) + absDiff(y, py)
+		if dist != 1 {
+			t.Fatalf("curve step %d→%d jumps Manhattan distance %d", d-1, d, dist)
+		}
+		px, py = x, y
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestOrderFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint
+	}{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := OrderFor(c.n); got != c.want {
+			t.Errorf("OrderFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// Property: XY2D and D2XY are inverse bijections on random coordinates for a
+// larger grid.
+func TestRoundTripQuick(t *testing.T) {
+	const k = 12
+	f := func(x, y uint32) bool {
+		x %= 1 << k
+		y %= 1 << k
+		gx, gy := D2XY(k, XY2D(k, x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package layout materializes COO (coordinate-format) edge arrays in the
+// traversal orders studied in Section V-G of the paper: CSR order (edges
+// sorted by source vertex), CSC/destination order, and Hilbert space-filling
+// curve order. GraphGrind-style engines traverse the COO directly for dense
+// frontiers, so the edge order determines the memory-access pattern.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/hilbert"
+)
+
+// Order selects a COO edge ordering.
+type Order int
+
+const (
+	// CSROrder sorts edges by (source, destination): the traversal order of
+	// a CSR walk by increasing source ID.
+	CSROrder Order = iota
+	// CSCOrder sorts edges by (destination, source): the traversal order of
+	// a CSC walk by increasing destination ID.
+	CSCOrder
+	// HilbertOrder sorts edges by their position along the Hilbert curve
+	// over the (source, destination) grid.
+	HilbertOrder
+)
+
+func (o Order) String() string {
+	switch o {
+	case CSROrder:
+		return "csr"
+	case CSCOrder:
+		return "csc"
+	case HilbertOrder:
+		return "hilbert"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// COO is a coordinate-format edge list with parallel arrays.
+type COO struct {
+	Src, Dst []graph.VertexID
+	Weight   []int32
+	Ordering Order
+
+	keys []uint64 // scratch Hilbert keys, non-nil only during sorting
+}
+
+// Len returns the number of edges.
+func (c *COO) Len() int { return len(c.Src) }
+
+// Build materializes g's edges as a COO in the requested order.
+func Build(g *graph.Graph, o Order) (*COO, error) {
+	m := int(g.NumEdges())
+	c := &COO{
+		Src:      make([]graph.VertexID, 0, m),
+		Dst:      make([]graph.VertexID, 0, m),
+		Weight:   make([]int32, 0, m),
+		Ordering: o,
+	}
+	// Start from CSC order (destination-major) since engines partition by
+	// destination; re-sort as requested.
+	for v := 0; v < g.NumVertices(); v++ {
+		ws := g.InWeights(graph.VertexID(v))
+		for i, s := range g.InNeighbors(graph.VertexID(v)) {
+			c.Src = append(c.Src, s)
+			c.Dst = append(c.Dst, graph.VertexID(v))
+			c.Weight = append(c.Weight, ws[i])
+		}
+	}
+	switch o {
+	case CSCOrder:
+		// already destination-major with ascending sources within a
+		// destination
+	case CSROrder:
+		c.sortBy(func(i, j int) bool {
+			if c.Src[i] != c.Src[j] {
+				return c.Src[i] < c.Src[j]
+			}
+			return c.Dst[i] < c.Dst[j]
+		})
+	case HilbertOrder:
+		k := hilbert.OrderFor(g.NumVertices())
+		keys := make([]uint64, m)
+		for i := range keys {
+			keys[i] = hilbert.XY2D(k, uint32(c.Src[i]), uint32(c.Dst[i]))
+		}
+		c.keys = keys
+		c.sortBy(func(i, j int) bool { return keys[i] < keys[j] })
+		c.keys = nil
+	default:
+		return nil, fmt.Errorf("layout: unknown order %v", o)
+	}
+	return c, nil
+}
+
+// BuildRange materializes the in-edges of the destination range [lo, hi) in
+// the requested order. GraphGrind builds one COO per partition.
+func BuildRange(g *graph.Graph, lo, hi graph.VertexID, o Order) (*COO, error) {
+	if lo > hi || int(hi) > g.NumVertices() {
+		return nil, fmt.Errorf("layout: invalid range [%d,%d)", lo, hi)
+	}
+	c := &COO{Ordering: o}
+	for v := lo; v < hi; v++ {
+		ws := g.InWeights(v)
+		for i, s := range g.InNeighbors(v) {
+			c.Src = append(c.Src, s)
+			c.Dst = append(c.Dst, v)
+			c.Weight = append(c.Weight, ws[i])
+		}
+	}
+	switch o {
+	case CSCOrder:
+	case CSROrder:
+		c.sortBy(func(i, j int) bool {
+			if c.Src[i] != c.Src[j] {
+				return c.Src[i] < c.Src[j]
+			}
+			return c.Dst[i] < c.Dst[j]
+		})
+	case HilbertOrder:
+		k := hilbert.OrderFor(g.NumVertices())
+		keys := make([]uint64, c.Len())
+		for i := range keys {
+			keys[i] = hilbert.XY2D(k, uint32(c.Src[i]), uint32(c.Dst[i]))
+		}
+		c.keys = keys
+		c.sortBy(func(i, j int) bool { return keys[i] < keys[j] })
+		c.keys = nil
+	default:
+		return nil, fmt.Errorf("layout: unknown order %v", o)
+	}
+	return c, nil
+}
+
+type cooSorter struct {
+	c    *COO
+	less func(i, j int) bool
+}
+
+func (s cooSorter) Len() int           { return s.c.Len() }
+func (s cooSorter) Less(i, j int) bool { return s.less(i, j) }
+func (s cooSorter) Swap(i, j int) {
+	c := s.c
+	c.Src[i], c.Src[j] = c.Src[j], c.Src[i]
+	c.Dst[i], c.Dst[j] = c.Dst[j], c.Dst[i]
+	c.Weight[i], c.Weight[j] = c.Weight[j], c.Weight[i]
+	if c.keys != nil {
+		c.keys[i], c.keys[j] = c.keys[j], c.keys[i]
+	}
+}
+
+// keys is scratch space used while sorting by Hilbert index.
+// It is nil outside Build/BuildRange.
+func (c *COO) sortBy(less func(i, j int) bool) {
+	sort.Stable(cooSorter{c: c, less: less})
+}

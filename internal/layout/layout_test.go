@@ -1,0 +1,160 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hilbert"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{N: 300, S: 1.0, MaxDegree: 40, Seed: 8, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// edgeMultiset counts (src,dst,w) triples.
+func edgeMultiset(c *COO) map[[3]int64]int {
+	m := make(map[[3]int64]int)
+	for i := 0; i < c.Len(); i++ {
+		m[[3]int64{int64(c.Src[i]), int64(c.Dst[i]), int64(c.Weight[i])}]++
+	}
+	return m
+}
+
+func TestBuildPreservesEdgeMultiset(t *testing.T) {
+	g := testGraph(t)
+	var ref map[[3]int64]int
+	for _, o := range []Order{CSROrder, CSCOrder, HilbertOrder} {
+		c, err := Build(g, o)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", o, err)
+		}
+		if int64(c.Len()) != g.NumEdges() {
+			t.Fatalf("%v: %d edges, want %d", o, c.Len(), g.NumEdges())
+		}
+		ms := edgeMultiset(c)
+		if ref == nil {
+			ref = ms
+			continue
+		}
+		if len(ms) != len(ref) {
+			t.Fatalf("%v: edge multiset size differs", o)
+		}
+		for k, v := range ref {
+			if ms[k] != v {
+				t.Fatalf("%v: edge %v count %d, want %d", o, k, ms[k], v)
+			}
+		}
+	}
+}
+
+func TestCSROrderSorted(t *testing.T) {
+	g := testGraph(t)
+	c, err := Build(g, CSROrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < c.Len(); i++ {
+		if c.Src[i-1] > c.Src[i] ||
+			(c.Src[i-1] == c.Src[i] && c.Dst[i-1] > c.Dst[i]) {
+			t.Fatalf("CSR order violated at %d: (%d,%d) > (%d,%d)",
+				i, c.Src[i-1], c.Dst[i-1], c.Src[i], c.Dst[i])
+		}
+	}
+}
+
+func TestCSCOrderSorted(t *testing.T) {
+	g := testGraph(t)
+	c, err := Build(g, CSCOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < c.Len(); i++ {
+		if c.Dst[i-1] > c.Dst[i] {
+			t.Fatalf("CSC order violated at %d", i)
+		}
+	}
+}
+
+func TestHilbertOrderSortedByCurveIndex(t *testing.T) {
+	g := testGraph(t)
+	c, err := Build(g, HilbertOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := hilbert.OrderFor(g.NumVertices())
+	var prev uint64
+	for i := 0; i < c.Len(); i++ {
+		d := hilbert.XY2D(k, uint32(c.Src[i]), uint32(c.Dst[i]))
+		if i > 0 && d < prev {
+			t.Fatalf("Hilbert order violated at %d: %d < %d", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBuildRange(t *testing.T) {
+	g := testGraph(t)
+	lo, hi := graph.VertexID(50), graph.VertexID(120)
+	c, err := BuildRange(g, lo, hi, CSROrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for v := lo; v < hi; v++ {
+		want += g.InDegree(v)
+	}
+	if int64(c.Len()) != want {
+		t.Fatalf("range COO has %d edges, want %d", c.Len(), want)
+	}
+	for i := 0; i < c.Len(); i++ {
+		if c.Dst[i] < lo || c.Dst[i] >= hi {
+			t.Fatalf("edge %d destination %d outside [%d,%d)", i, c.Dst[i], lo, hi)
+		}
+	}
+}
+
+func TestBuildRangeInvalid(t *testing.T) {
+	g := testGraph(t)
+	if _, err := BuildRange(g, 10, 5, CSROrder); err == nil {
+		t.Error("expected error for reversed range")
+	}
+	if _, err := BuildRange(g, 0, graph.VertexID(g.NumVertices()+5), CSROrder); err == nil {
+		t.Error("expected error for out-of-range hi")
+	}
+}
+
+func TestBuildRangeWholeGraphMatchesBuild(t *testing.T) {
+	g := testGraph(t)
+	a, err := Build(g, HilbertOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildRange(g, 0, graph.VertexID(g.NumVertices()), HilbertOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] {
+			t.Fatalf("edge %d differs: (%d,%d) vs (%d,%d)",
+				i, a.Src[i], a.Dst[i], b.Src[i], b.Dst[i])
+		}
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if CSROrder.String() != "csr" || CSCOrder.String() != "csc" || HilbertOrder.String() != "hilbert" {
+		t.Error("Order.String labels wrong")
+	}
+	if Order(99).String() == "" {
+		t.Error("unknown order should stringify")
+	}
+}

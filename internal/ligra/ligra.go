@@ -1,0 +1,98 @@
+// Package ligra models the Ligra framework (Shun & Blelloch, PPoPP'13): no
+// explicit graph partitioning, Cilk-style dynamic scheduling, and no
+// locality optimization. Dense (pull) edgemaps recursively split the whole
+// vertex range down to a grain; sparse (push) edgemaps chunk the frontier.
+// Because scheduling is dynamic, modeled loop time uses list-scheduling
+// makespans — which is why, in the paper, Ligra profits least from VEBO's
+// load balancing.
+package ligra
+
+import (
+	"repro/internal/engine"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// Config parameterizes the Ligra model.
+type Config struct {
+	Engine engine.Config
+	// Grain is the number of vertices per Cilk leaf task in dense
+	// traversal; 0 selects n/384 (clamped to ≥ 64), mirroring the implicit
+	// partitioning the paper observes for Cilk loops.
+	Grain int
+}
+
+// Ligra is an Engine with Ligra's scheduling policy.
+type Ligra struct {
+	g       *graph.Graph
+	cfg     Config
+	units   []engine.Range
+	metrics engine.Metrics
+}
+
+// New builds a Ligra engine over g.
+func New(g *graph.Graph, cfg Config) *Ligra {
+	cfg.Engine = cfg.Engine.WithDefaults()
+	if cfg.Grain <= 0 {
+		cfg.Grain = g.NumVertices() / 384
+		if cfg.Grain < 64 {
+			cfg.Grain = 64
+		}
+	}
+	return &Ligra{
+		g:     g,
+		cfg:   cfg,
+		units: engine.SplitRange(g.NumVertices(), cfg.Grain),
+	}
+}
+
+// Name implements Engine.
+func (l *Ligra) Name() string { return "ligra" }
+
+// Graph implements Engine.
+func (l *Ligra) Graph() *graph.Graph { return l.g }
+
+// Metrics implements Engine.
+func (l *Ligra) Metrics() *engine.Metrics { return &l.metrics }
+
+// EdgeMap implements Engine with direction optimization.
+func (l *Ligra) EdgeMap(f *frontier.Frontier, k engine.EdgeKernel) *frontier.Frontier {
+	threads := l.cfg.Engine.Topology.Threads()
+	if f.ShouldBeDense(l.g.NumEdges()) {
+		out, costs := engine.DensePull(l.g, f, k, l.units, threads)
+		l.metrics.Add(engine.Step{
+			Kind:           engine.StepEdgeMapDense,
+			ActiveVertices: f.Count(),
+			ActiveEdges:    f.OutEdges(),
+			TotalCost:      engine.Sum(costs),
+			Makespan:       engine.MakespanDynamic(costs, threads),
+			UnitCosts:      costs,
+		})
+		return out
+	}
+	out, costs := engine.SparsePush(l.g, f, k, l.cfg.Engine.SparseChunk, threads)
+	l.metrics.Add(engine.Step{
+		Kind:           engine.StepEdgeMapSparse,
+		ActiveVertices: f.Count(),
+		ActiveEdges:    f.OutEdges(),
+		TotalCost:      engine.Sum(costs),
+		Makespan:       engine.MakespanDynamic(costs, threads),
+		UnitCosts:      costs,
+	})
+	return out
+}
+
+// VertexMap implements Engine with dynamic chunking over active vertices.
+func (l *Ligra) VertexMap(f *frontier.Frontier, fn func(v graph.VertexID) bool) *frontier.Frontier {
+	threads := l.cfg.Engine.Topology.Threads()
+	out, costs := engine.VertexMapDynamic(l.g, f, fn, l.cfg.Engine.SparseChunk, threads)
+	l.metrics.Add(engine.Step{
+		Kind:           engine.StepVertexMap,
+		ActiveVertices: f.Count(),
+		ActiveEdges:    f.OutEdges(),
+		TotalCost:      engine.Sum(costs),
+		Makespan:       engine.MakespanDynamic(costs, threads),
+		UnitCosts:      costs,
+	})
+	return out
+}

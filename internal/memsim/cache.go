@@ -1,0 +1,101 @@
+package memsim
+
+// setAssocCache is a set-associative cache with LRU replacement, used to
+// model the per-socket last-level cache and (with small geometry) the
+// per-thread TLB.
+type setAssocCache struct {
+	sets     int
+	ways     int
+	lineBits uint // log2 of line (or page) size
+	tags     []uint64
+	valid    []bool
+	stamps   []uint64
+	clock    uint64
+}
+
+// newSetAssocCache builds a cache of capacityBytes with the given
+// associativity and line size. Sizes are rounded to powers of two.
+func newSetAssocCache(capacityBytes, ways, lineBytes int) *setAssocCache {
+	if ways < 1 {
+		ways = 1
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineBytes {
+		lineBits++
+	}
+	lines := capacityBytes / (1 << lineBits)
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// round sets down to a power of two for cheap indexing
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	c := &setAssocCache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lineBits,
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		stamps:   make([]uint64, sets*ways),
+	}
+	return c
+}
+
+// access touches addr and reports whether it hit.
+func (c *setAssocCache) access(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	c.clock++
+	// hit?
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.stamps[base+w] = c.clock
+			return true
+		}
+	}
+	// miss: fill LRU way
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.stamps[base+w] < c.stamps[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.stamps[victim] = c.clock
+	return false
+}
+
+// loopPredictor models a trip-count loop-exit predictor: it predicts the
+// inner loop will run as many iterations as it did last time. A vertex whose
+// degree matches its predecessor's incurs no mispredict; a change costs one.
+// This captures the paper's Section V-E observation that VEBO's
+// degree-sorted order makes the CSR/CSC loop-exit branch predictable.
+type loopPredictor struct {
+	lastTrip int64
+	primed   bool
+}
+
+// observe records a loop execution of trip iterations and returns the number
+// of branch mispredictions it caused.
+func (p *loopPredictor) observe(trip int64) int64 {
+	if !p.primed {
+		p.primed = true
+		p.lastTrip = trip
+		return 1
+	}
+	if trip == p.lastTrip {
+		return 0
+	}
+	p.lastTrip = trip
+	return 1
+}

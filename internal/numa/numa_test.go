@@ -1,0 +1,110 @@
+package numa
+
+import "testing"
+
+func TestDefaultTopology(t *testing.T) {
+	top := Default()
+	if top.Sockets != 4 || top.ThreadsPerSocket != 12 {
+		t.Fatalf("Default() = %+v, want 4x12", top)
+	}
+	if top.Threads() != 48 {
+		t.Fatalf("Threads() = %d, want 48", top.Threads())
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Topology{Sockets: 0, ThreadsPerSocket: 1}).Validate(); err == nil {
+		t.Error("expected error for 0 sockets")
+	}
+	if err := (Topology{Sockets: 2, ThreadsPerSocket: -1}).Validate(); err == nil {
+		t.Error("expected error for negative threads")
+	}
+}
+
+func TestSocketOfThread(t *testing.T) {
+	top := Default()
+	cases := []struct{ tid, want int }{
+		{0, 0}, {11, 0}, {12, 1}, {23, 1}, {24, 2}, {47, 3},
+	}
+	for _, c := range cases {
+		if got := top.SocketOfThread(c.tid); got != c.want {
+			t.Errorf("SocketOfThread(%d) = %d, want %d", c.tid, got, c.want)
+		}
+	}
+}
+
+func TestSocketOfPartition(t *testing.T) {
+	top := Default()
+	// 384 partitions over 4 sockets: 96 per socket.
+	if got := top.SocketOfPartition(0, 384); got != 0 {
+		t.Errorf("partition 0 -> socket %d", got)
+	}
+	if got := top.SocketOfPartition(95, 384); got != 0 {
+		t.Errorf("partition 95 -> socket %d", got)
+	}
+	if got := top.SocketOfPartition(96, 384); got != 1 {
+		t.Errorf("partition 96 -> socket %d", got)
+	}
+	if got := top.SocketOfPartition(383, 384); got != 3 {
+		t.Errorf("partition 383 -> socket %d", got)
+	}
+	// degenerate: fewer partitions than sockets
+	if got := top.SocketOfPartition(1, 2); got < 0 || got >= 4 {
+		t.Errorf("partition 1 of 2 -> socket %d", got)
+	}
+	if got := top.SocketOfPartition(0, 0); got != 0 {
+		t.Errorf("empty partitioning -> socket %d", got)
+	}
+}
+
+func TestPartitionRangeOfSocketTilesAll(t *testing.T) {
+	top := Default()
+	for _, np := range []int{1, 3, 4, 48, 384, 385} {
+		covered := 0
+		prevHi := 0
+		for s := 0; s < top.Sockets; s++ {
+			lo, hi := top.PartitionRangeOfSocket(s, np)
+			if lo != prevHi {
+				t.Fatalf("np=%d socket %d: lo=%d, want %d", np, s, lo, prevHi)
+			}
+			for p := lo; p < hi; p++ {
+				if top.SocketOfPartition(p, np) != s {
+					t.Fatalf("np=%d: partition %d not homed on socket %d", np, p, s)
+				}
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != np {
+			t.Fatalf("np=%d: covered %d partitions", np, covered)
+		}
+	}
+}
+
+func TestThreadsOfSocket(t *testing.T) {
+	top := Default()
+	lo, hi := top.ThreadsOfSocket(2)
+	if lo != 24 || hi != 36 {
+		t.Errorf("ThreadsOfSocket(2) = [%d,%d), want [24,36)", lo, hi)
+	}
+}
+
+func TestHomeOfVertex(t *testing.T) {
+	top := Topology{Sockets: 2, ThreadsPerSocket: 2}
+	bounds := []int64{0, 10, 20, 30, 40} // 4 partitions
+	// partitions 0,1 -> socket 0; partitions 2,3 -> socket 1
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {9, 0}, {10, 0}, {19, 0}, {20, 1}, {39, 1},
+	}
+	for _, c := range cases {
+		if got := top.HomeOfVertex(c.v, bounds); got != c.want {
+			t.Errorf("HomeOfVertex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package partition implements the paper's Algorithm 1: locality-preserving
+// edge-balanced partitioning of the destination vertices. Each partition is
+// a chunk of consecutively numbered vertices owning all edges whose
+// destination falls in the chunk. The greedy chunking closes a partition as
+// soon as it has reached the average edge count, so partition quality is
+// entirely determined by the vertex ordering — which is exactly the lever
+// VEBO pulls.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Partition is a contiguous destination-vertex range [Lo, Hi) together with
+// the number of in-edges it owns.
+type Partition struct {
+	Lo, Hi graph.VertexID // destination vertices [Lo, Hi)
+	Edges  int64          // total in-edges of the range
+}
+
+// Vertices returns the number of destination vertices in the partition.
+func (p Partition) Vertices() int64 { return int64(p.Hi) - int64(p.Lo) }
+
+// ByDestination partitions g's destination vertices into p chunks using the
+// paper's Algorithm 1: walk the vertices in ID order, accumulating in-edges,
+// and close the current chunk once it holds at least |E|/p edges. The last
+// chunk absorbs the remainder. Every vertex belongs to exactly one chunk.
+func ByDestination(g *graph.Graph, p int) ([]Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: count must be positive, got %d", p)
+	}
+	n := g.NumVertices()
+	avg := g.NumEdges() / int64(p)
+	parts := make([]Partition, 0, p)
+	cur := Partition{Lo: 0}
+	for v := 0; v < n; v++ {
+		if cur.Edges >= avg && avg > 0 && len(parts) < p-1 {
+			cur.Hi = graph.VertexID(v)
+			parts = append(parts, cur)
+			cur = Partition{Lo: graph.VertexID(v)}
+		}
+		cur.Edges += g.InDegree(graph.VertexID(v))
+	}
+	cur.Hi = graph.VertexID(n)
+	parts = append(parts, cur)
+	// Pad with empty partitions if the graph ran out of vertices early
+	// (e.g. p > n): downstream engines index partitions 0..p-1.
+	for len(parts) < p {
+		parts = append(parts, Partition{Lo: graph.VertexID(n), Hi: graph.VertexID(n)})
+	}
+	return parts, nil
+}
+
+// ByVertexRanges builds partitions from explicit boundaries (e.g. VEBO's
+// Result.Boundaries), counting the in-edges per range. bounds must have p+1
+// non-decreasing entries starting at 0 and ending at n.
+func ByVertexRanges(g *graph.Graph, bounds []int64) ([]Partition, error) {
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != int64(g.NumVertices()) {
+		return nil, fmt.Errorf("partition: invalid bounds %v for n=%d", bounds, g.NumVertices())
+	}
+	parts := make([]Partition, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] > bounds[i+1] {
+			return nil, fmt.Errorf("partition: decreasing bounds at %d", i)
+		}
+		pt := Partition{Lo: graph.VertexID(bounds[i]), Hi: graph.VertexID(bounds[i+1])}
+		for v := pt.Lo; v < pt.Hi; v++ {
+			pt.Edges += g.InDegree(v)
+		}
+		parts[i] = pt
+	}
+	return parts, nil
+}
+
+// Summary captures the balance statistics the paper reports per
+// partitioning: edge spread (Δ), destination-vertex spread (δ) and the
+// unique-source spread discussed around Figure 1.
+type Summary struct {
+	Partitions    int
+	MinEdges      int64
+	MaxEdges      int64
+	MinVertices   int64
+	MaxVertices   int64
+	MinSources    int64
+	MaxSources    int64
+	EdgeSpread    int64 // MaxEdges - MinEdges (the paper's Δ(n))
+	VertexSpread  int64 // MaxVertices - MinVertices (the paper's δ(n))
+	TotalEdges    int64
+	TotalVertices int64
+}
+
+// Summarize computes balance statistics for a partitioning of g, including
+// the number of unique source vertices feeding each partition (the bottom
+// row of Figure 1).
+func Summarize(g *graph.Graph, parts []Partition) Summary {
+	s := Summary{Partitions: len(parts)}
+	if len(parts) == 0 {
+		return s
+	}
+	seen := make([]uint32, g.NumVertices()) // epoch mark per source vertex
+	for i, pt := range parts {
+		epoch := uint32(i + 1)
+		var sources int64
+		for v := pt.Lo; v < pt.Hi; v++ {
+			for _, src := range g.InNeighbors(v) {
+				if seen[src] != epoch {
+					seen[src] = epoch
+					sources++
+				}
+			}
+		}
+		nv := pt.Vertices()
+		if i == 0 {
+			s.MinEdges, s.MaxEdges = pt.Edges, pt.Edges
+			s.MinVertices, s.MaxVertices = nv, nv
+			s.MinSources, s.MaxSources = sources, sources
+		}
+		s.TotalEdges += pt.Edges
+		s.TotalVertices += nv
+		if pt.Edges < s.MinEdges {
+			s.MinEdges = pt.Edges
+		}
+		if pt.Edges > s.MaxEdges {
+			s.MaxEdges = pt.Edges
+		}
+		if nv < s.MinVertices {
+			s.MinVertices = nv
+		}
+		if nv > s.MaxVertices {
+			s.MaxVertices = nv
+		}
+		if sources < s.MinSources {
+			s.MinSources = sources
+		}
+		if sources > s.MaxSources {
+			s.MaxSources = sources
+		}
+	}
+	s.EdgeSpread = s.MaxEdges - s.MinEdges
+	s.VertexSpread = s.MaxVertices - s.MinVertices
+	return s
+}
+
+// UniqueSources returns, per partition, the number of distinct source
+// vertices with at least one edge into the partition.
+func UniqueSources(g *graph.Graph, parts []Partition) []int64 {
+	out := make([]int64, len(parts))
+	seen := make([]uint32, g.NumVertices())
+	for i, pt := range parts {
+		epoch := uint32(i + 1)
+		for v := pt.Lo; v < pt.Hi; v++ {
+			for _, src := range g.InNeighbors(v) {
+				if seen[src] != epoch {
+					seen[src] = epoch
+					out[i]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Of returns the index of the partition owning destination vertex v, by
+// binary search over the contiguous ranges.
+func Of(parts []Partition, v graph.VertexID) int {
+	lo, hi := 0, len(parts)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v >= parts[mid].Hi {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

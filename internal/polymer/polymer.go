@@ -1,0 +1,142 @@
+// Package polymer models the Polymer framework (Zhang, Chen & Chen,
+// PPoPP'15): the graph is cut into one partition per NUMA socket, data is
+// homed with its partition, and parallel loops are statically scheduled —
+// each socket's threads process fixed sub-ranges of the socket's partition.
+// Static scheduling makes loop time the time of the slowest thread, which is
+// why Polymer is highly sensitive to the load balance VEBO provides.
+package polymer
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Config parameterizes the Polymer model.
+type Config struct {
+	Engine engine.Config
+	// Bounds optionally supplies partition boundaries in vertex-ID space
+	// (P+1 entries, P = sockets), e.g. VEBO's Result.Boundaries. When nil,
+	// the paper's Algorithm 1 (partition.ByDestination) is used.
+	Bounds []int64
+}
+
+// Polymer is an Engine with Polymer's partitioning and scheduling policy.
+type Polymer struct {
+	g       *graph.Graph
+	cfg     Config
+	parts   []partition.Partition
+	units   []engine.Range // threads-per-socket sub-ranges per partition
+	metrics engine.Metrics
+}
+
+// New builds a Polymer engine over g with one partition per socket.
+func New(g *graph.Graph, cfg Config) (*Polymer, error) {
+	cfg.Engine = cfg.Engine.WithDefaults()
+	sockets := cfg.Engine.Topology.Sockets
+	var parts []partition.Partition
+	var err error
+	if cfg.Bounds != nil {
+		if len(cfg.Bounds) != sockets+1 {
+			return nil, fmt.Errorf("polymer: bounds must have %d entries, got %d",
+				sockets+1, len(cfg.Bounds))
+		}
+		parts, err = partition.ByVertexRanges(g, cfg.Bounds)
+	} else {
+		parts, err = partition.ByDestination(g, sockets)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ranges := make([]engine.Range, len(parts))
+	for i, pt := range parts {
+		ranges[i] = engine.Range{Lo: pt.Lo, Hi: pt.Hi}
+	}
+	return &Polymer{
+		g:     g,
+		cfg:   cfg,
+		parts: parts,
+		units: engine.SubdivideByEdges(g, ranges, cfg.Engine.Topology.ThreadsPerSocket),
+	}, nil
+}
+
+// Name implements Engine.
+func (p *Polymer) Name() string { return "polymer" }
+
+// Graph implements Engine.
+func (p *Polymer) Graph() *graph.Graph { return p.g }
+
+// Metrics implements Engine.
+func (p *Polymer) Metrics() *engine.Metrics { return &p.metrics }
+
+// Partitions returns the per-socket partitions.
+func (p *Polymer) Partitions() []partition.Partition { return p.parts }
+
+// partitionCosts folds per-unit costs back onto their partitions by locating
+// each unit's start vertex.
+func (p *Polymer) partitionCosts(unitCosts []int64) []int64 {
+	out := make([]int64, len(p.parts))
+	for i, u := range p.units {
+		out[partition.Of(p.parts, u.Lo)] += unitCosts[i]
+	}
+	return out
+}
+
+// EdgeMap implements Engine with direction optimization; both directions are
+// statically scheduled.
+func (p *Polymer) EdgeMap(f *frontier.Frontier, k engine.EdgeKernel) *frontier.Frontier {
+	threads := p.cfg.Engine.Topology.Threads()
+	if f.ShouldBeDense(p.g.NumEdges()) {
+		out, costs := engine.DensePull(p.g, f, k, p.units, threads)
+		partCosts := p.partitionCosts(costs)
+		// Polymer statically binds one partition to each socket; the
+		// socket's threads divide the partition's work near-evenly, so the
+		// loop finishes when the most expensive partition does.
+		tps := int64(p.cfg.Engine.Topology.ThreadsPerSocket)
+		var makespan int64
+		for _, c := range partCosts {
+			if t := (c + tps - 1) / tps; t > makespan {
+				makespan = t
+			}
+		}
+		p.metrics.Add(engine.Step{
+			Kind:           engine.StepEdgeMapDense,
+			ActiveVertices: f.Count(),
+			ActiveEdges:    f.OutEdges(),
+			TotalCost:      engine.Sum(costs),
+			Makespan:       makespan,
+			UnitCosts:      costs,
+			PartitionCosts: partCosts,
+		})
+		return out
+	}
+	out, costs := engine.SparsePush(p.g, f, k, p.cfg.Engine.SparseChunk, threads)
+	p.metrics.Add(engine.Step{
+		Kind:           engine.StepEdgeMapSparse,
+		ActiveVertices: f.Count(),
+		ActiveEdges:    f.OutEdges(),
+		TotalCost:      engine.Sum(costs),
+		Makespan:       engine.MakespanStatic(costs, threads),
+		UnitCosts:      costs,
+	})
+	return out
+}
+
+// VertexMap implements Engine: the full vertex range is statically divided
+// over all threads.
+func (p *Polymer) VertexMap(f *frontier.Frontier, fn func(v graph.VertexID) bool) *frontier.Frontier {
+	threads := p.cfg.Engine.Topology.Threads()
+	out, costs := engine.VertexMapStatic(p.g, f, fn, threads, threads)
+	p.metrics.Add(engine.Step{
+		Kind:           engine.StepVertexMap,
+		ActiveVertices: f.Count(),
+		ActiveEdges:    f.OutEdges(),
+		TotalCost:      engine.Sum(costs),
+		Makespan:       engine.MakespanStatic(costs, threads),
+		UnitCosts:      costs,
+	})
+	return out
+}

@@ -1,0 +1,131 @@
+// Package stats provides the summary statistics the paper's tables report:
+// min, median, standard deviation, max (Table IV), spreads and speedups.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample in the shape of the paper's Table IV rows.
+type Summary struct {
+	N      int
+	Min    float64
+	Median float64
+	Mean   float64
+	StdDev float64
+	Max    float64
+}
+
+// Summarize computes summary statistics of xs. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:   len(xs),
+		Min: sorted[0],
+		Max: sorted[len(sorted)-1],
+	}
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// SummarizeInts converts and summarizes an int64 sample.
+func SummarizeInts(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Spread returns Max/Min, the paper's "n-x spread" notion (e.g. "6.9x").
+// A zero minimum yields +Inf unless the maximum is also zero.
+func (s Summary) Spread() float64 {
+	if s.Min == 0 {
+		if s.Max == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return s.Max / s.Min
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// GeoMean returns the geometric mean of positive values; zero or negative
+// entries are skipped.
+func GeoMean(xs []float64) float64 {
+	var logs float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logs += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logs / float64(n))
+}
+
+// Speedup formats a baseline/variant ratio: >1 means the variant is faster.
+func Speedup(baseline, variant float64) float64 {
+	if variant == 0 {
+		return math.Inf(1)
+	}
+	return baseline / variant
+}
+
+// FormatDuration renders a modeled time (arbitrary units) compactly.
+func FormatDuration(units int64) string {
+	switch {
+	case units >= 1_000_000_000:
+		return fmt.Sprintf("%.3fG", float64(units)/1e9)
+	case units >= 1_000_000:
+		return fmt.Sprintf("%.3fM", float64(units)/1e6)
+	case units >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(units)/1e3)
+	default:
+		return fmt.Sprintf("%d", units)
+	}
+}

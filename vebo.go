@@ -1,0 +1,232 @@
+// Package vebo is the public facade of the VEBO reproduction: a Go
+// implementation of "VEBO: A Vertex- and Edge-Balanced Ordering Heuristic to
+// Load Balance Parallel Graph Processing" (Sun, Vandierendonck,
+// Nikolopoulos; PPoPP 2019), together with the three shared-memory
+// graph-processing framework models (Ligra, Polymer, GraphGrind styles) the
+// paper evaluates on, eight graph algorithms, baseline orderings and a
+// benchmark harness regenerating every table and figure of the paper.
+//
+// The typical pipeline mirrors the paper's Figure 2:
+//
+//	g, _ := vebo.Generate("twitter", 0.2, 42)      // or LoadAdjacency
+//	res, _ := vebo.Reorder(g, 384)                  // VEBO ordering
+//	rg, _ := res.Apply(g)                           // isomorphic reordered graph
+//	eng, _ := vebo.NewEngine(vebo.GraphGrind, rg,   // processing engine
+//	    vebo.EngineOptions{Bounds: res.Boundaries()})
+//	ranks := vebo.PageRank(eng, 10)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package vebo
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphgrind"
+	"repro/internal/layout"
+	"repro/internal/ligra"
+	"repro/internal/numa"
+	"repro/internal/order"
+	"repro/internal/polymer"
+)
+
+// Graph is a directed graph in CSR+CSC form (see internal/graph).
+type Graph = graph.Graph
+
+// Edge is a weighted directed edge.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex.
+type VertexID = graph.VertexID
+
+// Result is a VEBO ordering (permutation, partition assignment and balance
+// counts).
+type Result struct {
+	inner *core.Result
+}
+
+// Perm returns the permutation (old ID → new ID).
+func (r *Result) Perm() []VertexID { return r.inner.Perm }
+
+// Boundaries returns the partition end points in the new ID space.
+func (r *Result) Boundaries() []int64 { return r.inner.Boundaries() }
+
+// EdgeImbalance returns Δ(n), the spread of per-partition edge counts.
+func (r *Result) EdgeImbalance() int64 { return r.inner.EdgeImbalance() }
+
+// VertexImbalance returns δ(n), the spread of per-partition vertex counts.
+func (r *Result) VertexImbalance() int64 { return r.inner.VertexImbalance() }
+
+// Apply relabels g with the ordering, returning the reordered graph.
+func (r *Result) Apply(g *Graph) (*Graph, error) { return core.Apply(g, r.inner) }
+
+// Reorder computes the VEBO ordering of g into p partitions: per-partition
+// in-edge counts and destination-vertex counts are jointly balanced
+// (optimally so, for power-law graphs meeting the paper's Theorem 1/2
+// preconditions).
+func Reorder(g *Graph, p int) (*Result, error) {
+	r, err := core.Reorder(g, p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: r}, nil
+}
+
+// Generate builds one of the paper's workload graphs by recipe name
+// (twitter, friendster, orkut, livejournal, yahoo, usaroad, powerlaw, rmat)
+// at the given scale (1.0 ≈ 10^5 vertices).
+func Generate(recipe string, scale float64, seed int64) (*Graph, error) {
+	r, err := gen.RecipeByName(recipe)
+	if err != nil {
+		return nil, err
+	}
+	return r.Build(scale, seed)
+}
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, edges []Edge, weighted bool) (*Graph, error) {
+	return graph.FromEdges(n, edges, weighted)
+}
+
+// LoadAdjacency reads a graph in Ligra (Weighted)AdjacencyGraph format.
+func LoadAdjacency(r io.Reader) (*Graph, error) { return graph.ReadAdjacency(r) }
+
+// SaveAdjacency writes a graph in Ligra (Weighted)AdjacencyGraph format.
+func SaveAdjacency(w io.Writer, g *Graph) error { return graph.WriteAdjacency(w, g) }
+
+// System selects a framework model.
+type System int
+
+const (
+	// Ligra models Shun & Blelloch's Ligra: no partitioning, dynamic
+	// scheduling.
+	Ligra System = iota
+	// Polymer models Zhang et al.'s Polymer: one partition per NUMA socket,
+	// static scheduling.
+	Polymer
+	// GraphGrind models Sun et al.'s GraphGrind: many partitions, two-level
+	// scheduling, COO dense traversal.
+	GraphGrind
+)
+
+func (s System) String() string {
+	switch s {
+	case Ligra:
+		return "ligra"
+	case Polymer:
+		return "polymer"
+	case GraphGrind:
+		return "graphgrind"
+	default:
+		return fmt.Sprintf("system(%d)", int(s))
+	}
+}
+
+// Engine is the edgemap/vertexmap processing interface shared by the three
+// framework models; see internal/engine for the full contract.
+type Engine = engine.Engine
+
+// EngineOptions tunes engine construction.
+type EngineOptions struct {
+	// Sockets and ThreadsPerSocket describe the virtual NUMA machine
+	// (default: the paper's 4×12).
+	Sockets, ThreadsPerSocket int
+	// Partitions is GraphGrind's partition count (default 384).
+	Partitions int
+	// Bounds supplies explicit partition boundaries (e.g.
+	// Result.Boundaries()); nil selects the paper's Algorithm 1.
+	Bounds []int64
+	// HilbertCOO selects Hilbert-ordered COO for GraphGrind's dense
+	// traversal instead of the default CSR order.
+	HilbertCOO bool
+}
+
+func (o EngineOptions) topology() numa.Topology {
+	t := numa.Default()
+	if o.Sockets > 0 {
+		t.Sockets = o.Sockets
+	}
+	if o.ThreadsPerSocket > 0 {
+		t.ThreadsPerSocket = o.ThreadsPerSocket
+	}
+	return t
+}
+
+// NewEngine constructs the selected framework model over g.
+func NewEngine(sys System, g *Graph, opts EngineOptions) (Engine, error) {
+	ecfg := engine.Config{Topology: opts.topology()}
+	switch sys {
+	case Ligra:
+		return ligra.New(g, ligra.Config{Engine: ecfg}), nil
+	case Polymer:
+		return polymer.New(g, polymer.Config{Engine: ecfg, Bounds: opts.Bounds})
+	case GraphGrind:
+		o := layout.CSROrder
+		if opts.HilbertCOO {
+			o = layout.HilbertOrder
+		}
+		return graphgrind.New(g, graphgrind.Config{
+			Engine:     ecfg,
+			Partitions: opts.Partitions,
+			Order:      o,
+			Bounds:     opts.Bounds,
+		})
+	default:
+		return nil, fmt.Errorf("vebo: unknown system %v", sys)
+	}
+}
+
+// The eight benchmark algorithms of the paper's Table II, re-exported from
+// internal/algorithms. Each runs on any Engine.
+
+// PageRank runs the power-method PageRank for iters iterations.
+func PageRank(e Engine, iters int) []float64 { return algorithms.PageRank(e, iters) }
+
+// PageRankDelta runs delta-update PageRank; vertices leave the frontier when
+// their rank change falls below eps relative to their rank.
+func PageRankDelta(e Engine, iters int, eps float64) []float64 {
+	return algorithms.PageRankDelta(e, iters, eps)
+}
+
+// BFS returns the parent array of a breadth-first search from root.
+func BFS(e Engine, root VertexID) []int32 { return algorithms.BFS(e, root) }
+
+// CC returns label-propagation component labels.
+func CC(e Engine) []uint32 { return algorithms.CC(e) }
+
+// SPMV multiplies the adjacency matrix with x.
+func SPMV(e Engine, x []float64) []float64 { return algorithms.SPMV(e, x) }
+
+// BellmanFord returns single-source shortest-path distances from root.
+func BellmanFord(e Engine, root VertexID) []int64 { return algorithms.BellmanFord(e, root) }
+
+// BC returns single-source betweenness-centrality scores; eT must process
+// the transpose of e's graph.
+func BC(e, eT Engine, root VertexID) []float64 { return algorithms.BC(e, eT, root) }
+
+// BP runs the belief-propagation workload for iters iterations with the
+// given priors.
+func BP(e Engine, iters int, prior []float64) []float64 { return algorithms.BP(e, iters, prior) }
+
+// Baseline orderings (permutations old ID → new ID), for comparison with
+// Reorder.
+
+// OrderRCM computes the Reverse Cuthill-McKee ordering.
+func OrderRCM(g *Graph) []VertexID { return order.RCM(g) }
+
+// OrderGorder computes the Gorder ordering with window w (0 = default 5).
+func OrderGorder(g *Graph, w int) []VertexID {
+	return order.Gorder(g, order.GorderConfig{Window: w})
+}
+
+// OrderRandom computes a seeded uniformly random permutation.
+func OrderRandom(g *Graph, seed int64) []VertexID { return order.Random(g, seed) }
+
+// OrderDegreeSort orders vertices by decreasing in-degree.
+func OrderDegreeSort(g *Graph) []VertexID { return order.DegreeSort(g) }

@@ -1,0 +1,94 @@
+package vebo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadePipeline(t *testing.T) {
+	g, err := Generate("twitter", 0.03, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reorder(g, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeImbalance() > 1 || res.VertexImbalance() > 1 {
+		t.Fatalf("imbalance Δ=%d δ=%d", res.EdgeImbalance(), res.VertexImbalance())
+	}
+	rg, err := res.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := EngineOptions{Sockets: 2, ThreadsPerSocket: 2, Partitions: 48, Bounds: res.Boundaries()}
+	for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+		o := opts
+		if sys == Polymer {
+			o.Bounds = nil // Polymer needs sockets+1 bounds; use Algorithm 1
+		}
+		eng, err := NewEngine(sys, rg, o)
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		ranks := PageRank(eng, 3)
+		if len(ranks) != rg.NumVertices() {
+			t.Fatalf("%v: rank length %d", sys, len(ranks))
+		}
+		root := res.Perm()[0]
+		if p := BFS(eng, root); p[root] != int32(root) {
+			t.Fatalf("%v: BFS root parent %d", sys, p[root])
+		}
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 3 || h.NumEdges() != 2 {
+		t.Fatalf("round trip: %d vertices %d edges", h.NumVertices(), h.NumEdges())
+	}
+}
+
+func TestFacadeOrderings(t *testing.T) {
+	g, err := Generate("usaroad", 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, perm := range map[string][]VertexID{
+		"rcm":    OrderRCM(g),
+		"gorder": OrderGorder(g, 3),
+		"random": OrderRandom(g, 4),
+		"degree": OrderDegreeSort(g),
+	} {
+		seen := make([]bool, g.NumVertices())
+		for _, p := range perm {
+			if int(p) >= g.NumVertices() || seen[p] {
+				t.Fatalf("%s: invalid permutation", name)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if Ligra.String() != "ligra" || Polymer.String() != "polymer" || GraphGrind.String() != "graphgrind" {
+		t.Error("System labels wrong")
+	}
+	if System(42).String() == "" {
+		t.Error("unknown system should stringify")
+	}
+	if _, err := NewEngine(System(42), nil, EngineOptions{}); err == nil {
+		t.Error("expected error for unknown system")
+	}
+}
