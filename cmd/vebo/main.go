@@ -8,6 +8,12 @@
 // output graphs in (Weighted)AdjacencyGraph format. The output graph is
 // isomorphic to the input; the tool prints the achieved vertex and edge
 // balance and the new ID of the tracked vertex.
+//
+// The stream subcommand replays a synthetic edge-update stream against a
+// workload recipe graph through the dynamic subsystem (internal/dynamic),
+// reporting maintenance work and the final balance next to a full reorder:
+//
+//	vebo stream -recipe powerlaw -scale 0.2 -ops 100000 -batch 1024 -p 64
 package main
 
 import (
@@ -17,8 +23,90 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
 	"repro/internal/graph"
 )
+
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("vebo stream", flag.ExitOnError)
+	recipe := fs.String("recipe", "powerlaw", "workload recipe to stream against")
+	scale := fs.Float64("scale", 0.2, "graph scale factor (1.0 ≈ 10^5 vertices)")
+	ops := fs.Int("ops", 100_000, "number of edge updates to replay")
+	batch := fs.Int("batch", 1024, "updates per ingestion batch")
+	parts := fs.Int("p", dynamic.DefaultPartitions, "number of graph partitions maintained live")
+	threshold := fs.Int64("threshold", 0, "Δ(n) maintenance threshold (0: default)")
+	compactEvery := fs.Int("compact", 0, "delta-log compaction bound (0: default)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("stream: unexpected positional argument %q (stream takes flags only)", fs.Arg(0))
+	}
+	if *batch < 1 {
+		return fmt.Errorf("stream: -batch must be at least 1, got %d", *batch)
+	}
+	if *ops < 0 {
+		return fmt.Errorf("stream: -ops must be non-negative, got %d", *ops)
+	}
+	if *parts < 1 {
+		return fmt.Errorf("stream: -p must be at least 1, got %d", *parts)
+	}
+
+	g, updates, err := gen.StreamFromRecipe(*recipe, *scale, *ops, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %s: %d vertices, %d edges, %d-update stream\n",
+		*recipe, g.NumVertices(), g.NumEdges(), len(updates))
+
+	start := time.Now()
+	d, err := dynamic.New(g, dynamic.Config{
+		Partitions: *parts, RebuildThreshold: *threshold, CompactEvery: *compactEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("initial ordering in %v: Δ(n)=%d δ(n)=%d over %d partitions\n",
+		time.Since(start).Round(time.Millisecond), d.EdgeImbalance(), d.VertexImbalance(), *parts)
+
+	start = time.Now()
+	batches := 0
+	for lo := 0; lo < len(updates); lo += *batch {
+		hi := lo + *batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			return err
+		}
+		batches++
+	}
+	elapsed := time.Since(start)
+	st := d.Stats()
+	fmt.Printf("replayed %d updates (%d batches) in %v: %.0f updates/s\n",
+		st.Updates, batches, elapsed.Round(time.Millisecond),
+		float64(st.Updates)/elapsed.Seconds())
+	fmt.Printf("maintenance: %d repairs (%d vertices), %d full rebuilds, %d compactions\n",
+		st.Repairs, st.RepairedVertices, st.FullRebuilds, st.Compactions)
+	fmt.Printf("final Δ(n)=%d δ(n)=%d, live edges %d\n",
+		d.EdgeImbalance(), d.VertexImbalance(), d.NumEdges())
+
+	// Compare against a from-scratch reorder of the post-stream graph.
+	start = time.Now()
+	snap := d.Snapshot()
+	scratch, err := core.Reorder(snap, *parts, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("full reorder of final graph in %v: Δ(n)=%d δ(n)=%d\n",
+		time.Since(start).Round(time.Millisecond), scratch.EdgeImbalance(), scratch.VertexImbalance())
+	rebuildEvery := int64(batches) * int64(g.NumVertices())
+	fmt.Printf("work: %d incremental placements vs %d for reorder-every-batch (%.1f× less)\n",
+		st.Placements, rebuildEvery, float64(rebuildEvery)/float64(st.Placements))
+	return nil
+}
 
 func run() error {
 	track := flag.Int("r", -1, "vertex to track through the reordering (-1: none)")
@@ -69,7 +157,13 @@ func run() error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "stream" {
+		err = runStream(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vebo:", err)
 		os.Exit(1)
 	}

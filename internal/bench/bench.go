@@ -61,7 +61,7 @@ func (c Config) WithDefaults() Config {
 
 // Experiments lists the available experiment names in paper order.
 func Experiments() []string {
-	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners"}
+	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners", "dynamic"}
 }
 
 // Run executes the named experiment ("all" runs every one).
@@ -88,6 +88,8 @@ func Run(name string, cfg Config) error {
 		return Table6(cfg)
 	case "partitioners":
 		return Partitioners(cfg)
+	case "dynamic":
+		return Dynamic(cfg)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, cfg); err != nil {
@@ -170,20 +172,9 @@ func veboOrdered(g *graph.Graph, partitionCounts []int) (*ordered, error) {
 	for _, p := range counts[:len(counts)-1] {
 		// Coarser partitionings reuse the fine boundaries: merging balanced
 		// fine partitions groupwise keeps both vertex and edge balance.
-		o.bounds[p] = groupBounds(o.bounds[main], p)
+		o.bounds[p] = core.CoarsenBounds(o.bounds[main], p)
 	}
 	return o, nil
-}
-
-// groupBounds merges fine partition boundaries into p coarse ones.
-func groupBounds(fine []int64, p int) []int64 {
-	nf := len(fine) - 1
-	out := make([]int64, p+1)
-	for i := 0; i <= p; i++ {
-		out[i] = fine[i*nf/p]
-	}
-	out[p] = fine[nf]
-	return out
 }
 
 // systemNames is the paper's framework order.
@@ -199,7 +190,7 @@ func newEngine(sys string, g *graph.Graph, cfg Config, bounds []int64, ggOrder l
 	case "polymer":
 		var b []int64
 		if bounds != nil {
-			b = groupBounds(bounds, cfg.Topology.Sockets)
+			b = core.CoarsenBounds(bounds, cfg.Topology.Sockets)
 		}
 		return polymer.New(g, polymer.Config{Engine: ecfg, Bounds: b})
 	case "graphgrind":

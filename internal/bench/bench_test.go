@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/numa"
 )
 
@@ -26,7 +27,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 10 {
+	if len(Experiments()) != 11 {
 		t.Fatalf("experiment count = %d", len(Experiments()))
 	}
 }
@@ -153,13 +154,26 @@ func TestPartitionersSmoke(t *testing.T) {
 	}
 }
 
+func TestDynamicSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("dynamic", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"incremental", "rebuild/batch", "ldg(final)", "fennel(final)", "within 2×: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestGroupBounds(t *testing.T) {
 	fine := []int64{0, 10, 20, 30, 40, 50, 60, 70, 80}
-	got := groupBounds(fine, 4)
+	got := core.CoarsenBounds(fine, 4)
 	want := []int64{0, 20, 40, 60, 80}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("groupBounds = %v, want %v", got, want)
+			t.Fatalf("CoarsenBounds = %v, want %v", got, want)
 		}
 	}
 }

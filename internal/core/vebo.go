@@ -61,12 +61,14 @@ type Result struct {
 }
 
 // EdgeImbalance returns Δ(n) = max_p EdgeCounts − min_p EdgeCounts.
-func (r *Result) EdgeImbalance() int64 { return spread(r.EdgeCounts) }
+func (r *Result) EdgeImbalance() int64 { return Spread(r.EdgeCounts) }
 
 // VertexImbalance returns δ(n) = max_p VertexCounts − min_p VertexCounts.
-func (r *Result) VertexImbalance() int64 { return spread(r.VertexCounts) }
+func (r *Result) VertexImbalance() int64 { return Spread(r.VertexCounts) }
 
-func spread(xs []int64) int64 {
+// Spread returns max(xs) − min(xs), the imbalance measure behind both Δ(n)
+// and δ(n) (0 for an empty slice).
+func Spread(xs []int64) int64 {
 	if len(xs) == 0 {
 		return 0
 	}
@@ -80,6 +82,23 @@ func spread(xs []int64) int64 {
 		}
 	}
 	return hi - lo
+}
+
+// CoarsenBounds merges fine partition boundaries (len nf+1) into p coarse
+// ones by grouping consecutive fine partitions; merging balanced fine
+// partitions groupwise keeps both vertex and edge balance. p is clamped to
+// the fine partition count.
+func CoarsenBounds(fine []int64, p int) []int64 {
+	nf := len(fine) - 1
+	if p > nf {
+		p = nf
+	}
+	out := make([]int64, p+1)
+	for i := 0; i <= p; i++ {
+		out[i] = fine[i*nf/p]
+	}
+	out[p] = fine[nf]
+	return out
 }
 
 // Boundaries returns the partition end points in the new ID space:

@@ -1,0 +1,513 @@
+// Package dynamic keeps a graph and its VEBO ordering live under a stream of
+// edge insertions and deletions, so that engines never pay a full
+// O(n log P) reorder plus O(m) CSR/CSC rebuild per update batch.
+//
+// The design has three parts:
+//
+//   - Delta-log storage. The last compacted graph.Graph is kept immutable;
+//     inserted edges accumulate in an append-only log and deletions in a
+//     cancellation multiset keyed by (src,dst). Snapshot materializes the
+//     surviving edge set into a fresh CSR/CSC graph on demand (cached per
+//     mutation epoch) and Compact promotes that snapshot to the new base.
+//
+//   - Incremental balance accounting. Per-partition in-edge counts (the
+//     paper's w[p]) and vertex counts (u[p]) are updated in O(1) per edge
+//     update, so the tracked edge imbalance Δ(n) and vertex imbalance δ(n)
+//     are always available without touching the graph.
+//
+//   - Incremental ordering maintenance. Each update dirties its destination
+//     vertex — the vertex whose in-degree class changed. When Δ(n) exceeds
+//     the configured threshold, the paper's Algorithm 2 greedy placement is
+//     re-run over the dirty vertices only: they are pulled out of their
+//     partitions and re-placed in decreasing-degree order onto the
+//     least-loaded partition (least-edge for non-zero degrees, least-vertex
+//     for zero degrees), exactly as phases 1 and 2 do for the full vertex
+//     set. Vertices whose degree class did not change keep their placement,
+//     so the repair costs O(k log k + kP) for k dirty vertices instead of
+//     O(n log P). If the repair cannot pull Δ(n) back under the threshold
+//     (for example after deleting a hub whose partition cannot be refilled
+//     from dirty vertices alone) the subsystem falls back to a full
+//     core.ReorderDegrees rebuild.
+//
+// See DESIGN.md §5 for how this subsystem fits the rest of the system.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Config tunes a dynamic graph. The zero value selects the defaults below.
+type Config struct {
+	// Partitions is the VEBO partition count P (default 64).
+	Partitions int
+	// RebuildThreshold is the Δ(n) value above which maintenance runs: first
+	// the dirty-vertex incremental repair, then — if Δ(n) is still above the
+	// threshold — a full reorder. Default 2, the paper's power-law bound
+	// (Theorem 1 gives Δ ≤ 1; one in-flight batch may add one more).
+	RebuildThreshold int64
+	// CompactEvery bounds the delta log: once the number of pending
+	// insertions plus pending deletions reaches it, ApplyBatch compacts the
+	// log into a fresh base graph. 0 selects an adaptive bound,
+	// max(8192, liveEdges/8): compaction costs O(m), so a fixed small bound
+	// would pay it every few batches on large graphs.
+	CompactEvery int
+}
+
+// DefaultPartitions is the default VEBO partition count for dynamic graphs,
+// deliberately smaller than GraphGrind's 384: a live system repartitions
+// continuously, and the repair cost scales with P.
+const DefaultPartitions = 64
+
+func (c Config) withDefaults() Config {
+	if c.Partitions == 0 {
+		c.Partitions = DefaultPartitions
+	}
+	if c.RebuildThreshold == 0 {
+		c.RebuildThreshold = 2
+	}
+	return c
+}
+
+// compactBound is the current delta-log size triggering compaction.
+func (d *Graph) compactBound() int64 {
+	if d.cfg.CompactEvery > 0 {
+		return int64(d.cfg.CompactEvery)
+	}
+	b := d.liveEdges / 8
+	if b < 8192 {
+		b = 8192
+	}
+	return b
+}
+
+// Stats counts the work the subsystem has done, in units comparable with a
+// full reorder (one placement = one arg-min probe + assignment, the unit
+// Algorithm 2 performs n of).
+type Stats struct {
+	// Updates is the number of edge updates applied (inserts + deletes).
+	Updates int64
+	// Inserts and Deletes split Updates.
+	Inserts, Deletes int64
+	// Placements is the total number of greedy vertex placements performed,
+	// including the initial full ordering and any full rebuilds.
+	Placements int64
+	// Repairs is the number of incremental dirty-vertex repairs.
+	Repairs int64
+	// RepairedVertices is the number of placements done by repairs alone.
+	RepairedVertices int64
+	// FullRebuilds is the number of full Algorithm 2 re-runs (not counting
+	// the initial ordering).
+	FullRebuilds int64
+	// Compactions is the number of delta-log compactions.
+	Compactions int64
+}
+
+// BatchResult reports what one ApplyBatch call did.
+type BatchResult struct {
+	Applied         int
+	Repaired        bool
+	Rebuilt         bool
+	Compacted       bool
+	EdgeImbalance   int64
+	VertexImbalance int64
+}
+
+type edgeKey uint64
+
+func keyOf(s, d graph.VertexID) edgeKey { return edgeKey(s)<<32 | edgeKey(d) }
+
+// Graph is a mutable graph with an incrementally maintained VEBO ordering.
+// It is not safe for concurrent use; callers serialize ApplyBatch against
+// reads, or read from an immutable Snapshot.
+type Graph struct {
+	cfg      Config
+	n        int
+	weighted bool
+
+	// base is the last compacted immutable graph; pendingAdd and the del/add
+	// cancellation counts are the delta log on top of it.
+	base       *graph.Graph
+	pendingAdd []graph.Edge
+	addCount   map[edgeKey]int64 // multiplicity of (s,d) within pendingAdd
+	delCount   map[edgeKey]int64 // pending deletions of (s,d), cancelling
+	// occurrences in base-then-pendingAdd order
+	pendingDels int64
+	liveEdges   int64
+
+	// Live per-vertex in-degrees and the current placement.
+	degIn  []int64
+	assign []uint32
+	// partEdges[p] and partVerts[p] are the paper's w[p] and u[p],
+	// maintained incrementally.
+	partEdges []int64
+	partVerts []int64
+	// dirty holds the vertices whose in-degree class changed since they were
+	// last placed.
+	dirty map[graph.VertexID]struct{}
+
+	stats Stats
+
+	// epoch increments on every mutation; snapCache is valid for snapEpoch.
+	epoch     int64
+	snapCache *graph.Graph
+	snapEpoch int64
+
+	ordCache *core.Result
+	ordEpoch int64
+}
+
+// New wraps g in a dynamic graph, computing the initial VEBO ordering.
+func New(g *graph.Graph, cfg Config) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	r, err := core.Reorder(g, cfg.Partitions, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d := &Graph{
+		cfg:       cfg,
+		n:         g.NumVertices(),
+		weighted:  g.Weighted(),
+		base:      g,
+		addCount:  make(map[edgeKey]int64),
+		delCount:  make(map[edgeKey]int64),
+		liveEdges: g.NumEdges(),
+		degIn:     g.InDegrees(),
+		assign:    make([]uint32, g.NumVertices()),
+		partEdges: append([]int64(nil), r.EdgeCounts...),
+		partVerts: append([]int64(nil), r.VertexCounts...),
+		dirty:     make(map[graph.VertexID]struct{}),
+	}
+	copy(d.assign, r.PartitionOf)
+	d.stats.Placements = int64(d.n)
+	d.snapCache, d.snapEpoch = g, 0
+	return d, nil
+}
+
+// NumVertices reports the (fixed) vertex count.
+func (d *Graph) NumVertices() int { return d.n }
+
+// NumEdges reports the number of live edges (base − pending deletions +
+// pending insertions).
+func (d *Graph) NumEdges() int64 { return d.liveEdges }
+
+// Partitions reports the partition count P.
+func (d *Graph) Partitions() int { return d.cfg.Partitions }
+
+// EdgeImbalance returns the tracked Δ(n) = max_p w[p] − min_p w[p].
+func (d *Graph) EdgeImbalance() int64 { return core.Spread(d.partEdges) }
+
+// VertexImbalance returns the tracked δ(n) = max_p u[p] − min_p u[p].
+func (d *Graph) VertexImbalance() int64 { return core.Spread(d.partVerts) }
+
+// EdgeCounts returns a copy of the per-partition in-edge counts w[p].
+func (d *Graph) EdgeCounts() []int64 { return append([]int64(nil), d.partEdges...) }
+
+// VertexCounts returns a copy of the per-partition vertex counts u[p].
+func (d *Graph) VertexCounts() []int64 { return append([]int64(nil), d.partVerts...) }
+
+// PartitionOf returns the current partition of v.
+func (d *Graph) PartitionOf(v graph.VertexID) uint32 { return d.assign[v] }
+
+// InDegree returns the live in-degree of v.
+func (d *Graph) InDegree(v graph.VertexID) int64 { return d.degIn[v] }
+
+// Stats returns the accumulated work counters.
+func (d *Graph) Stats() Stats { return d.stats }
+
+// PendingOps reports the current delta-log size (pending insertions plus
+// pending deletions against the base graph).
+func (d *Graph) PendingOps() int64 { return int64(len(d.pendingAdd)) + d.pendingDels }
+
+// baseMultiplicity counts edge (s,d) occurrences in the base graph via
+// binary search over s's sorted out-neighbour list.
+func (d *Graph) baseMultiplicity(s, dst graph.VertexID) int64 {
+	nbrs := d.base.OutNeighbors(s)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
+	var c int64
+	for ; i < len(nbrs) && nbrs[i] == dst; i++ {
+		c++
+	}
+	return c
+}
+
+// liveMultiplicity counts the surviving occurrences of edge (s,d).
+func (d *Graph) liveMultiplicity(s, dst graph.VertexID) int64 {
+	k := keyOf(s, dst)
+	return d.baseMultiplicity(s, dst) + d.addCount[k] - d.delCount[k]
+}
+
+// HasEdge reports whether at least one live (s,d) edge exists.
+func (d *Graph) HasEdge(s, dst graph.VertexID) bool {
+	return d.liveMultiplicity(s, dst) > 0
+}
+
+// ApplyBatch applies the updates in order, maintains the per-partition
+// counters, and runs the threshold-gated ordering maintenance once at the
+// end of the batch. An invalid update (vertex out of range, deletion of a
+// non-existent edge) stops processing and returns an error; updates before
+// it remain applied.
+func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
+	var res BatchResult
+	for i, u := range updates {
+		if int(u.Src) >= d.n || int(u.Dst) >= d.n {
+			return d.finishBatch(res), fmt.Errorf("dynamic: update %d: edge (%d,%d) out of range n=%d", i, u.Src, u.Dst, d.n)
+		}
+		if u.Del {
+			if err := d.deleteEdge(u.Src, u.Dst); err != nil {
+				return d.finishBatch(res), fmt.Errorf("dynamic: update %d: %w", i, err)
+			}
+		} else {
+			d.insertEdge(u.Src, u.Dst, u.Weight)
+		}
+		res.Applied++
+	}
+	return d.finishBatch(res), nil
+}
+
+// finishBatch runs the end-of-batch maintenance and fills the result.
+func (d *Graph) finishBatch(res BatchResult) BatchResult {
+	if d.EdgeImbalance() > d.cfg.RebuildThreshold {
+		d.repair()
+		res.Repaired = true
+		if d.EdgeImbalance() > d.cfg.RebuildThreshold {
+			d.rebuild()
+			res.Rebuilt = true
+		}
+	}
+	if d.PendingOps() >= d.compactBound() {
+		d.Compact()
+		res.Compacted = true
+	}
+	res.EdgeImbalance = d.EdgeImbalance()
+	res.VertexImbalance = d.VertexImbalance()
+	return res
+}
+
+func (d *Graph) insertEdge(s, dst graph.VertexID, w int32) {
+	if !d.weighted || w == 0 {
+		w = 1
+	}
+	k := keyOf(s, dst)
+	d.pendingAdd = append(d.pendingAdd, graph.Edge{Src: s, Dst: dst, Weight: w})
+	d.addCount[k]++
+	d.liveEdges++
+	d.degIn[dst]++
+	d.partEdges[d.assign[dst]]++
+	d.dirty[dst] = struct{}{}
+	d.touch()
+	d.stats.Updates++
+	d.stats.Inserts++
+}
+
+func (d *Graph) deleteEdge(s, dst graph.VertexID) error {
+	k := keyOf(s, dst)
+	if d.liveMultiplicity(s, dst) <= 0 {
+		return fmt.Errorf("delete of non-existent edge (%d,%d)", s, dst)
+	}
+	// Cancel a pending log insertion of the same pair first (the most
+	// recently inserted surviving occurrence); otherwise record a deletion
+	// against the base graph, which cancels base occurrences earliest-in-
+	// CSR-order first at snapshot time. Either way, which physical
+	// occurrence dies is deterministic. On unweighted graphs all
+	// occurrences of a pair are identical; on weighted graphs the rule is
+	// arbitrary but stable (see ROADMAP: weight-aware deletion).
+	if d.addCount[k] > 0 {
+		d.addCount[k]--
+		if d.addCount[k] == 0 {
+			delete(d.addCount, k)
+		}
+		// The log entry itself is dropped lazily at snapshot/compaction.
+	} else {
+		d.delCount[k]++
+		d.pendingDels++
+	}
+	d.liveEdges--
+	d.degIn[dst]--
+	d.partEdges[d.assign[dst]]--
+	d.dirty[dst] = struct{}{}
+	d.touch()
+	d.stats.Updates++
+	d.stats.Deletes++
+	return nil
+}
+
+func (d *Graph) touch() {
+	d.epoch++
+}
+
+// repair re-runs Algorithm 2's greedy placement over the dirty vertices
+// only: each is removed from its partition and re-placed in decreasing live
+// degree order onto the currently least-loaded partition — least edges for
+// non-zero-degree vertices (phase 1), least vertices for zero-degree
+// vertices (phase 2).
+func (d *Graph) repair() {
+	if len(d.dirty) == 0 {
+		return
+	}
+	verts := make([]graph.VertexID, 0, len(d.dirty))
+	for v := range d.dirty {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool {
+		if d.degIn[verts[i]] != d.degIn[verts[j]] {
+			return d.degIn[verts[i]] > d.degIn[verts[j]]
+		}
+		return verts[i] < verts[j]
+	})
+	for _, v := range verts {
+		p := d.assign[v]
+		d.partEdges[p] -= d.degIn[v]
+		d.partVerts[p]--
+	}
+	for _, v := range verts {
+		var q int
+		if d.degIn[v] > 0 {
+			q = argMin(d.partEdges)
+		} else {
+			q = argMin(d.partVerts)
+		}
+		d.assign[v] = uint32(q)
+		d.partEdges[q] += d.degIn[v]
+		d.partVerts[q]++
+	}
+	d.stats.Repairs++
+	d.stats.RepairedVertices += int64(len(verts))
+	d.stats.Placements += int64(len(verts))
+	d.dirty = make(map[graph.VertexID]struct{})
+	d.ordCache = nil
+}
+
+// rebuild runs the full Algorithm 2 over the live degree array.
+func (d *Graph) rebuild() {
+	r, err := core.ReorderDegrees(d.degIn, d.cfg.Partitions, core.Options{})
+	if err != nil {
+		// Unreachable: the config validated P at New time.
+		panic(err)
+	}
+	copy(d.assign, r.PartitionOf)
+	copy(d.partEdges, r.EdgeCounts)
+	copy(d.partVerts, r.VertexCounts)
+	d.dirty = make(map[graph.VertexID]struct{})
+	d.stats.FullRebuilds++
+	d.stats.Placements += int64(d.n)
+	d.ordCache = nil
+}
+
+// Rebuild forces a full reorder regardless of the threshold.
+func (d *Graph) Rebuild() { d.rebuild() }
+
+func argMin(xs []int64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// survivingEdges materializes the live edge multiset in deterministic order:
+// base edges in CSR order with pending deletions cancelling their earliest
+// occurrences, followed by surviving log insertions in arrival order.
+func (d *Graph) survivingEdges() []graph.Edge {
+	edges := make([]graph.Edge, 0, d.liveEdges)
+	var dels map[edgeKey]int64
+	if len(d.delCount) > 0 {
+		dels = make(map[edgeKey]int64, len(d.delCount))
+		for k, c := range d.delCount {
+			dels[k] = c
+		}
+	}
+	for _, e := range d.base.Edges() {
+		k := keyOf(e.Src, e.Dst)
+		if dels[k] > 0 {
+			dels[k]--
+			continue
+		}
+		edges = append(edges, e)
+	}
+	// Of each pair's log entries, the first addCount[k] survive: deletions
+	// consumed the most recently inserted ones.
+	if len(d.pendingAdd) > 0 {
+		adds := make(map[edgeKey]int64, len(d.addCount))
+		for _, e := range d.pendingAdd {
+			k := keyOf(e.Src, e.Dst)
+			if adds[k] >= d.addCount[k] {
+				continue // cancelled by a later deletion
+			}
+			adds[k]++
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// Snapshot materializes the live graph as an immutable CSR+CSC graph.Graph
+// the processing engines can traverse. The result is cached until the next
+// mutation; callers must not retain it across ApplyBatch if they need the
+// newest state, but may keep using an old snapshot safely (it is never
+// mutated).
+func (d *Graph) Snapshot() *graph.Graph {
+	if d.snapCache != nil && d.snapEpoch == d.epoch {
+		return d.snapCache
+	}
+	g, err := graph.FromEdges(d.n, d.survivingEdges(), d.weighted)
+	if err != nil {
+		// Unreachable: every applied update was range-checked.
+		panic(err)
+	}
+	d.snapCache, d.snapEpoch = g, d.epoch
+	return g
+}
+
+// Compact promotes the current snapshot to the new base graph and clears the
+// delta log. Engines holding older snapshots are unaffected.
+func (d *Graph) Compact() {
+	d.base = d.Snapshot()
+	d.pendingAdd = nil
+	d.addCount = make(map[edgeKey]int64)
+	d.delCount = make(map[edgeKey]int64)
+	d.pendingDels = 0
+	d.stats.Compactions++
+}
+
+// Ordering returns the current placement as a core.Result: the permutation
+// renumbers vertices so each partition owns a contiguous new-ID range with
+// vertices in decreasing live-degree order inside it, exactly as Algorithm
+// 2's phase 3 does. The result is cached until the next placement change.
+func (d *Graph) Ordering() *core.Result {
+	if d.ordCache != nil && d.ordEpoch == d.epoch {
+		return d.ordCache
+	}
+	p := d.cfg.Partitions
+	r := &core.Result{
+		P:            p,
+		Perm:         make([]graph.VertexID, d.n),
+		PartitionOf:  append([]uint32(nil), d.assign...),
+		VertexCounts: d.VertexCounts(),
+		EdgeCounts:   d.EdgeCounts(),
+	}
+	order := make([]int, d.n)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if d.assign[a] != d.assign[b] {
+			return d.assign[a] < d.assign[b]
+		}
+		if d.degIn[a] != d.degIn[b] {
+			return d.degIn[a] > d.degIn[b]
+		}
+		return a < b
+	})
+	for newID, v := range order {
+		r.Perm[v] = graph.VertexID(newID)
+	}
+	d.ordCache, d.ordEpoch = r, d.epoch
+	return r
+}

@@ -1,0 +1,323 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// applyStream replays updates in batches, failing the test on any error.
+func applyStream(t *testing.T, d *Graph, updates []graph.EdgeUpdate, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatalf("ApplyBatch(%d:%d): %v", lo, hi, err)
+		}
+	}
+}
+
+// referenceSurvivors replays the stream against a plain edge multiset,
+// mirroring the subsystem's cancellation order: a deletion removes the most
+// recently inserted live (s,d) occurrence, else the earliest base occurrence.
+// On unweighted graphs every occurrence of a pair is identical, so any
+// cancellation order yields the same multiset.
+func referenceSurvivors(g *graph.Graph, updates []graph.EdgeUpdate) []graph.Edge {
+	type key struct{ s, d graph.VertexID }
+	count := make(map[key]int64)
+	for _, e := range g.Edges() {
+		count[key{e.Src, e.Dst}]++
+	}
+	for _, u := range updates {
+		k := key{u.Src, u.Dst}
+		if u.Del {
+			count[k]--
+		} else {
+			count[k]++
+		}
+	}
+	var edges []graph.Edge
+	for k, c := range count {
+		for i := int64(0); i < c; i++ {
+			edges = append(edges, graph.Edge{Src: k.s, Dst: k.d, Weight: 1})
+		}
+	}
+	return edges
+}
+
+// TestSnapshotMatchesFromEdges is the compaction property test: after any
+// stream of valid inserts and deletes, a snapshot is edge-for-edge identical
+// to graph.FromEdges over the surviving edge multiset.
+func TestSnapshotMatchesFromEdges(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g, err := gen.ErdosRenyi(300, 2000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates, err := gen.EdgeStream(g, gen.StreamConfig{
+			Ops: 5000, DeleteFrac: 0.4, PreferentialFrac: 0.5, Seed: seed + 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(g, Config{Partitions: 16, CompactEvery: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyStream(t, d, updates, 128)
+
+		want, err := graph.FromEdges(g.NumVertices(), referenceSurvivors(g, updates), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := d.Snapshot()
+		if !graph.Equal(snap, want) {
+			t.Fatalf("seed %d: snapshot differs from FromEdges over survivors (snap %d edges, want %d)",
+				seed, snap.NumEdges(), want.NumEdges())
+		}
+		if d.NumEdges() != want.NumEdges() {
+			t.Fatalf("seed %d: live edge count %d, want %d", seed, d.NumEdges(), want.NumEdges())
+		}
+		if d.Stats().Compactions == 0 {
+			t.Fatalf("seed %d: expected at least one compaction with CompactEvery=512", seed)
+		}
+	}
+}
+
+// TestCountersMatchScratch checks the incremental Δ(n)/δ(n) accounting: the
+// per-partition counters maintained in O(1) per update must equal the counts
+// recomputed from scratch from the current assignment and snapshot, and
+// after a forced full rebuild Δ(n)/δ(n) must equal core.Reorder run from
+// scratch on the snapshot.
+func TestCountersMatchScratch(t *testing.T) {
+	const P = 24
+	g, err := gen.ErdosRenyi(400, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := gen.EdgeStream(g, gen.StreamConfig{
+		Ops: 4000, DeleteFrac: 0.35, PreferentialFrac: 0.6, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, 100)
+
+	snap := d.Snapshot()
+	wantEdges := make([]int64, P)
+	wantVerts := make([]int64, P)
+	for v := 0; v < snap.NumVertices(); v++ {
+		p := d.PartitionOf(graph.VertexID(v))
+		wantEdges[p] += snap.InDegree(graph.VertexID(v))
+		wantVerts[p]++
+		if d.InDegree(graph.VertexID(v)) != snap.InDegree(graph.VertexID(v)) {
+			t.Fatalf("vertex %d: tracked degree %d, snapshot degree %d",
+				v, d.InDegree(graph.VertexID(v)), snap.InDegree(graph.VertexID(v)))
+		}
+	}
+	gotEdges, gotVerts := d.EdgeCounts(), d.VertexCounts()
+	for p := 0; p < P; p++ {
+		if gotEdges[p] != wantEdges[p] {
+			t.Fatalf("partition %d: incremental edge count %d, recomputed %d", p, gotEdges[p], wantEdges[p])
+		}
+		if gotVerts[p] != wantVerts[p] {
+			t.Fatalf("partition %d: incremental vertex count %d, recomputed %d", p, gotVerts[p], wantVerts[p])
+		}
+	}
+
+	d.Rebuild()
+	scratch, err := core.Reorder(snap, P, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EdgeImbalance() != scratch.EdgeImbalance() {
+		t.Fatalf("post-rebuild Δ(n) = %d, core.Reorder from scratch = %d",
+			d.EdgeImbalance(), scratch.EdgeImbalance())
+	}
+	if d.VertexImbalance() != scratch.VertexImbalance() {
+		t.Fatalf("post-rebuild δ(n) = %d, core.Reorder from scratch = %d",
+			d.VertexImbalance(), scratch.VertexImbalance())
+	}
+}
+
+// TestOrderingIsValid checks that Ordering() returns a genuine permutation
+// grouping each partition into a contiguous new-ID range consistent with the
+// tracked vertex counts, and that applying it to the snapshot yields an
+// isomorphic graph.
+func TestOrderingIsValid(t *testing.T) {
+	g, err := gen.ErdosRenyi(200, 1500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := gen.EdgeStream(g, gen.StreamConfig{
+		Ops: 1000, DeleteFrac: 0.3, PreferentialFrac: 0.4, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, 64)
+
+	r := d.Ordering()
+	bounds := r.Boundaries()
+	for v := 0; v < d.NumVertices(); v++ {
+		p := r.PartitionOf[v]
+		newID := int64(r.Perm[v])
+		if newID < bounds[p] || newID >= bounds[p+1] {
+			t.Fatalf("vertex %d: new ID %d outside partition %d range [%d,%d)",
+				v, newID, p, bounds[p], bounds[p+1])
+		}
+	}
+	snap := d.Snapshot()
+	rg, err := snap.Relabel(r.Perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsIsomorphicUnder(snap, rg, r.Perm) {
+		t.Fatal("relabelled snapshot is not isomorphic under the ordering permutation")
+	}
+}
+
+// TestIncrementalWithinTwiceOfScratch is the acceptance property at unit
+// scale: after a churn stream on the powerlaw recipe, threshold-gated
+// incremental maintenance lands within 2× of the Δ(n) a full re-reorder
+// achieves, while doing measurably fewer placements than re-reordering after
+// every batch.
+func TestIncrementalWithinTwiceOfScratch(t *testing.T) {
+	const batch = 512
+	g, updates, err := gen.StreamFromRecipe("powerlaw", 0.05, 20_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, batch)
+
+	scratch, err := core.Reorder(d.Snapshot(), 32, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := 2 * scratch.EdgeImbalance()
+	if limit < 2 {
+		limit = 2
+	}
+	if d.EdgeImbalance() > limit {
+		t.Fatalf("incremental Δ(n) = %d, more than 2× the from-scratch Δ(n) = %d",
+			d.EdgeImbalance(), scratch.EdgeImbalance())
+	}
+	batches := (len(updates) + batch - 1) / batch
+	rebuildEvery := int64(batches) * int64(g.NumVertices())
+	st := d.Stats()
+	if st.Placements >= rebuildEvery {
+		t.Fatalf("incremental placements %d not less than rebuild-every-batch %d",
+			st.Placements, rebuildEvery)
+	}
+}
+
+// TestApplyBatchRejectsInvalid checks range and existence validation.
+func TestApplyBatchRejectsInvalid(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{{Src: 0, Dst: 9}}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{{Src: 2, Dst: 3, Del: true}}); err == nil {
+		t.Fatal("expected delete-of-missing-edge error")
+	}
+	// Deleting the only edge twice: first succeeds, second fails.
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{{Src: 0, Dst: 1, Del: true}, {Src: 0, Dst: 1, Del: true}}); err == nil {
+		t.Fatal("expected second delete to fail")
+	}
+	if d.NumEdges() != 0 {
+		t.Fatalf("live edges = %d, want 0", d.NumEdges())
+	}
+}
+
+// TestInsertDeleteRoundTrip interleaves inserts and deletes of the same pair
+// and checks multiplicity bookkeeping across a compaction.
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 2, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []graph.EdgeUpdate{
+		{Src: 0, Dst: 1},            // multiplicity 2
+		{Src: 0, Dst: 1, Del: true}, // back to 1 (cancels the log insert)
+		{Src: 0, Dst: 1, Del: true}, // 0 (cancels the base edge)
+		{Src: 0, Dst: 1},            // 1 again
+		{Src: 2, Dst: 1},
+	}
+	if _, err := d.ApplyBatch(ups); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if snap.NumEdges() != 2 || !snap.HasEdge(0, 1) || !snap.HasEdge(2, 1) {
+		t.Fatalf("unexpected snapshot: %d edges", snap.NumEdges())
+	}
+	if !d.HasEdge(0, 1) || d.HasEdge(1, 0) {
+		t.Fatal("HasEdge bookkeeping wrong")
+	}
+}
+
+// TestRandomizedMixedChurn hammers the subsystem with uniformly random valid
+// operations (not via gen) to probe cancellation corner cases.
+func TestRandomizedMixedChurn(t *testing.T) {
+	const n = 50
+	rng := rand.New(rand.NewSource(5))
+	g, err := gen.ErdosRenyi(n, 200, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 4, CompactEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := g.Edges()
+	var stream []graph.EdgeUpdate
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			j := rng.Intn(len(live))
+			e := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			stream = append(stream, graph.EdgeUpdate{Src: e.Src, Dst: e.Dst, Del: true})
+		} else {
+			e := graph.Edge{Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n)), Weight: 1}
+			live = append(live, e)
+			stream = append(stream, graph.EdgeUpdate{Src: e.Src, Dst: e.Dst})
+		}
+	}
+	applyStream(t, d, stream, 17)
+	want, err := graph.FromEdges(n, live, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(d.Snapshot(), want) {
+		t.Fatalf("snapshot differs after mixed churn: %d edges vs %d", d.Snapshot().NumEdges(), want.NumEdges())
+	}
+}

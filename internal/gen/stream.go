@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// StreamConfig parameterizes a synthetic edge-update stream over an existing
+// graph. Streams model the churn a live serving system sees: a mixture of
+// edge insertions (new follows, new roads) and deletions (unfollows, road
+// closures), with insertion endpoints drawn preferentially toward already
+// popular vertices so the degree distribution keeps its shape.
+type StreamConfig struct {
+	// Ops is the number of updates to generate.
+	Ops int
+	// DeleteFrac is the probability that an update deletes an existing live
+	// edge instead of inserting a new one (skipped when no live edge
+	// remains). In [0,1).
+	DeleteFrac float64
+	// PreferentialFrac is the probability that an inserted edge's endpoints
+	// are copied from a uniformly random live edge (source from its source,
+	// destination from its destination — i.e. degree-proportional sampling)
+	// rather than drawn uniformly. In [0,1].
+	PreferentialFrac float64
+	// Weighted attaches uniform random weights in [1,100] to insertions.
+	Weighted bool
+	Seed     int64
+}
+
+// EdgeStream generates a deterministic, timestamped update stream against g.
+// Every deletion targets an edge that is live at its point in the stream
+// (counting earlier stream insertions and deletions), so replaying the
+// stream in order against g is always valid.
+func EdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
+	if cfg.Ops < 0 {
+		return nil, fmt.Errorf("gen: stream op count must be non-negative, got %d", cfg.Ops)
+	}
+	if cfg.DeleteFrac < 0 || cfg.DeleteFrac >= 1 {
+		return nil, fmt.Errorf("gen: DeleteFrac out of range: %v", cfg.DeleteFrac)
+	}
+	if cfg.PreferentialFrac < 0 || cfg.PreferentialFrac > 1 {
+		return nil, fmt.Errorf("gen: PreferentialFrac out of range: %v", cfg.PreferentialFrac)
+	}
+	n := g.NumVertices()
+	if n == 0 && cfg.Ops > 0 {
+		return nil, fmt.Errorf("gen: cannot stream over an empty graph")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// live mirrors the evolving edge multiset; index order is irrelevant
+	// (deletions swap-remove), only membership matters.
+	live := g.Edges()
+	updates := make([]graph.EdgeUpdate, 0, cfg.Ops)
+	for t := 0; t < cfg.Ops; t++ {
+		if len(live) > 0 && rng.Float64() < cfg.DeleteFrac {
+			i := rng.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			updates = append(updates, graph.EdgeUpdate{Time: int64(t), Src: e.Src, Dst: e.Dst, Del: true})
+			continue
+		}
+		var src, dst graph.VertexID
+		if len(live) > 0 && rng.Float64() < cfg.PreferentialFrac {
+			// Sampling a uniform live edge and copying its endpoints draws
+			// src ∝ out-degree and dst ∝ in-degree: preferential attachment
+			// without any auxiliary weight structure.
+			src = live[rng.Intn(len(live))].Src
+			dst = live[rng.Intn(len(live))].Dst
+		} else {
+			src = graph.VertexID(rng.Intn(n))
+			dst = graph.VertexID(rng.Intn(n))
+		}
+		w := int32(1)
+		if cfg.Weighted {
+			w = int32(rng.Intn(100) + 1)
+		}
+		live = append(live, graph.Edge{Src: src, Dst: dst, Weight: w})
+		updates = append(updates, graph.EdgeUpdate{Time: int64(t), Src: src, Dst: dst, Weight: w})
+	}
+	return updates, nil
+}
+
+// streamShape maps a workload recipe to the churn profile its real-world
+// counterpart exhibits.
+var streamShape = map[string]struct {
+	deleteFrac       float64
+	preferentialFrac float64
+}{
+	"twitter":     {0.30, 0.7}, // follow/unfollow churn, strong rich-get-richer
+	"friendster":  {0.35, 0.5}, // decaying social network: heavy deletion
+	"orkut":       {0.30, 0.5},
+	"livejournal": {0.25, 0.6},
+	"yahoo":       {0.20, 0.7},
+	"usaroad":     {0.10, 0.1}, // road openings/closures: rare, spatially uniform
+	"powerlaw":    {0.30, 0.6},
+	"rmat":        {0.25, 0.6},
+}
+
+// StreamFromRecipe builds the named workload graph (as Recipe.Build does)
+// and derives a matching update stream: the churn profile (deletion rate,
+// attachment skew) follows the recipe's real-world counterpart, and the
+// stream is weighted exactly when the recipe graph is. Both the graph and
+// the stream are deterministic in (scale, seed).
+func StreamFromRecipe(name string, scale float64, ops int, seed int64) (*graph.Graph, []graph.EdgeUpdate, error) {
+	r, err := RecipeByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := r.Build(scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	shape := streamShape[name]
+	updates, err := EdgeStream(g, StreamConfig{
+		Ops:              ops,
+		DeleteFrac:       shape.deleteFrac,
+		PreferentialFrac: shape.preferentialFrac,
+		Weighted:         g.Weighted(),
+		Seed:             seed + 1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, updates, nil
+}

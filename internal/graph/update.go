@@ -1,0 +1,18 @@
+package graph
+
+// EdgeUpdate is one timestamped mutation in an edge stream: the insertion or
+// deletion of a single directed edge. Streams of EdgeUpdates are produced by
+// internal/gen and consumed by internal/dynamic.
+type EdgeUpdate struct {
+	// Time orders the update within its stream. Generators emit strictly
+	// increasing times; consumers treat the value as opaque.
+	Time int64
+	Src  VertexID
+	Dst  VertexID
+	// Weight is the weight of an inserted edge (ignored for deletions; 0
+	// means 1 on weighted graphs, as in FromEdges).
+	Weight int32
+	// Del selects deletion of one (Src,Dst) edge occurrence instead of
+	// insertion.
+	Del bool
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -213,6 +214,107 @@ func BC(e, eT Engine, root VertexID) []float64 { return algorithms.BC(e, eT, roo
 // BP runs the belief-propagation workload for iters iterations with the
 // given priors.
 func BP(e Engine, iters int, prior []float64) []float64 { return algorithms.BP(e, iters, prior) }
+
+// Dynamic graphs: streaming edge ingestion with incremental VEBO
+// maintenance (see internal/dynamic and DESIGN.md §5).
+
+// EdgeUpdate is one timestamped edge insertion or deletion in a stream.
+type EdgeUpdate = graph.EdgeUpdate
+
+// DynamicStats re-exports the dynamic subsystem's work counters.
+type DynamicStats = dynamic.Stats
+
+// DynamicBatchResult re-exports the per-batch maintenance report.
+type DynamicBatchResult = dynamic.BatchResult
+
+// DynamicOptions tunes a dynamic graph. The zero value selects the defaults
+// documented in internal/dynamic.Config.
+type DynamicOptions struct {
+	// Partitions is the VEBO partition count maintained live (default 64).
+	Partitions int
+	// RebuildThreshold is the Δ(n) above which maintenance runs (default 2).
+	RebuildThreshold int64
+	// CompactEvery bounds the delta log before compaction (default:
+	// adaptive, max(8192, liveEdges/8)).
+	CompactEvery int
+}
+
+// Dynamic is a mutable graph whose VEBO ordering is maintained
+// incrementally under streaming edge updates.
+type Dynamic struct {
+	inner *dynamic.Graph
+}
+
+// NewDynamic wraps g for streaming updates, computing the initial ordering.
+func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
+	d, err := dynamic.New(g, dynamic.Config{
+		Partitions:       opts.Partitions,
+		RebuildThreshold: opts.RebuildThreshold,
+		CompactEvery:     opts.CompactEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{inner: d}, nil
+}
+
+// ApplyBatch applies the updates in order and runs the threshold-gated
+// incremental ordering maintenance at the end of the batch.
+func (d *Dynamic) ApplyBatch(updates []EdgeUpdate) (DynamicBatchResult, error) {
+	return d.inner.ApplyBatch(updates)
+}
+
+// Snapshot materializes the live graph as an immutable CSR+CSC Graph any of
+// the three engines can traverse. Snapshots are cached per mutation epoch
+// and never mutated afterwards.
+func (d *Dynamic) Snapshot() *Graph { return d.inner.Snapshot() }
+
+// Imbalance returns the incrementally tracked Δ(n) (edge) and δ(n) (vertex)
+// partition imbalances.
+func (d *Dynamic) Imbalance() (edge, vertex int64) {
+	return d.inner.EdgeImbalance(), d.inner.VertexImbalance()
+}
+
+// Ordering returns the current VEBO ordering of the live graph.
+func (d *Dynamic) Ordering() *Result { return &Result{inner: d.inner.Ordering()} }
+
+// Stats returns the accumulated maintenance work counters.
+func (d *Dynamic) Stats() DynamicStats { return d.inner.Stats() }
+
+// Compact promotes the current snapshot to the new delta-log base.
+func (d *Dynamic) Compact() { d.inner.Compact() }
+
+// NewEngine builds the selected framework model over the current snapshot,
+// reordered with the live VEBO ordering and partitioned on its boundaries.
+// The engine keeps traversing its snapshot even while the dynamic graph
+// continues to mutate.
+func (d *Dynamic) NewEngine(sys System, opts EngineOptions) (Engine, error) {
+	r := d.Ordering()
+	rg, err := r.Apply(d.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	if opts.Bounds == nil {
+		switch sys {
+		case Polymer:
+			// Polymer wants one partition per socket.
+			opts.Bounds = core.CoarsenBounds(r.Boundaries(), opts.topology().Sockets)
+		default:
+			opts.Bounds = r.Boundaries()
+			if opts.Partitions == 0 {
+				opts.Partitions = d.inner.Partitions()
+			}
+		}
+	}
+	return NewEngine(sys, rg, opts)
+}
+
+// GenerateStream builds the named recipe graph and a derived churn stream of
+// ops timestamped edge updates whose deletion rate and attachment skew match
+// the recipe's real-world counterpart.
+func GenerateStream(recipe string, scale float64, ops int, seed int64) (*Graph, []EdgeUpdate, error) {
+	return gen.StreamFromRecipe(recipe, scale, ops, seed)
+}
 
 // Baseline orderings (permutations old ID → new ID), for comparison with
 // Reorder.
