@@ -1,4 +1,4 @@
-package vebo
+package vebo_test
 
 // One benchmark per paper table/figure (regenerating it at reduced scale via
 // the internal/bench harness), plus micro-benchmarks of the core pipeline
@@ -14,6 +14,7 @@ import (
 	"io"
 	"testing"
 
+	vebo "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -136,15 +137,15 @@ func BenchmarkCSRCOOBuild(b *testing.B) {
 
 func BenchmarkPageRankIteration(b *testing.B) {
 	g := benchGraph(b)
-	for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+	for _, sys := range []vebo.System{vebo.Ligra, vebo.Polymer, vebo.GraphGrind} {
 		b.Run(sys.String(), func(b *testing.B) {
-			eng, err := NewEngine(sys, g, EngineOptions{Partitions: 384})
+			eng, err := vebo.NewEngine(sys, g, vebo.EngineOptions{Partitions: 384})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				PageRank(eng, 1)
+				vebo.PageRank(eng, 1)
 			}
 			b.ReportMetric(float64(g.NumEdges())/float64(b.Elapsed().Seconds())*float64(b.N)/1e6, "Medges/s")
 		})
@@ -153,14 +154,14 @@ func BenchmarkPageRankIteration(b *testing.B) {
 
 func BenchmarkBFS(b *testing.B) {
 	g := benchGraph(b)
-	eng, err := NewEngine(GraphGrind, g, EngineOptions{Partitions: 384})
+	eng, err := vebo.NewEngine(vebo.GraphGrind, g, vebo.EngineOptions{Partitions: 384})
 	if err != nil {
 		b.Fatal(err)
 	}
 	root := pickHighDegree(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BFS(eng, root)
+		vebo.BFS(eng, root)
 	}
 }
 
@@ -240,7 +241,7 @@ func BenchmarkAblationPartitionCount(b *testing.B) {
 			var makespan int64
 			for i := 0; i < b.N; i++ {
 				eng.Metrics().Reset()
-				PageRank(eng, 1)
+				vebo.PageRank(eng, 1)
 				makespan = eng.Metrics().ModelTime
 			}
 			b.ReportMetric(float64(makespan), "model-units")
@@ -263,7 +264,7 @@ func BenchmarkAblationCOOOrder(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				PageRank(eng, 1)
+				vebo.PageRank(eng, 1)
 			}
 		})
 	}
@@ -273,7 +274,7 @@ func BenchmarkAblationCOOOrder(b *testing.B) {
 // adaptive by exercising EdgeMap at different frontier densities.
 func BenchmarkAblationFrontierDensity(b *testing.B) {
 	g := benchGraph(b)
-	eng, err := NewEngine(Ligra, g, EngineOptions{})
+	eng, err := vebo.NewEngine(vebo.Ligra, g, vebo.EngineOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,14 +14,24 @@
 // reporting maintenance work and the final balance next to a full reorder:
 //
 //	vebo stream -recipe powerlaw -scale 0.2 -ops 100000 -batch 1024 -p 64
+//
+// The serve subcommand runs the same stream through the epoch-pinned View
+// API with one ingest goroutine and N concurrent query goroutines, the
+// serving topology the facade is built for:
+//
+//	vebo serve -recipe powerlaw -scale 0.2 -ops 50000 -batch 256 -queriers 4 -alg pagerank
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	vebo "repro"
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/gen"
@@ -108,6 +118,152 @@ func runStream(args []string) error {
 	return nil
 }
 
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("vebo serve", flag.ExitOnError)
+	recipe := fs.String("recipe", "powerlaw", "workload recipe to stream against")
+	scale := fs.Float64("scale", 0.2, "graph scale factor (1.0 ≈ 10^5 vertices)")
+	ops := fs.Int("ops", 50_000, "number of edge updates to ingest")
+	batch := fs.Int("batch", 256, "updates per ingestion batch (one view epoch each)")
+	parts := fs.Int("p", dynamic.DefaultPartitions, "number of graph partitions maintained live")
+	queriers := fs.Int("queriers", 4, "concurrent query goroutines")
+	alg := fs.String("alg", "pagerank", "query workload: pagerank, bfs, cc or bc")
+	system := fs.String("system", "graphgrind", "framework model serving queries: ligra, polymer or graphgrind")
+	threshold := fs.Int64("threshold", 0, "Δ(n) maintenance threshold (0: default)")
+	vthreshold := fs.Int64("vthreshold", 0, "δ(n) maintenance threshold (0: default)")
+	noreuse := fs.Bool("noreuse", false, "rebuild engines from scratch every epoch instead of patching")
+	pace := fs.Duration("pace", 0, "delay between ingestion batches (0: ingest at full speed)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected positional argument %q (serve takes flags only)", fs.Arg(0))
+	}
+	if *batch < 1 || *ops < 0 || *parts < 1 || *queriers < 1 {
+		return fmt.Errorf("serve: -batch, -p and -queriers must be positive, -ops non-negative")
+	}
+	var sys vebo.System
+	switch strings.ToLower(*system) {
+	case "ligra":
+		sys = vebo.Ligra
+	case "polymer":
+		sys = vebo.Polymer
+	case "graphgrind":
+		sys = vebo.GraphGrind
+	default:
+		return fmt.Errorf("serve: unknown system %q", *system)
+	}
+	switch *alg {
+	case "pagerank", "bfs", "cc", "bc":
+	default:
+		return fmt.Errorf("serve: unknown query workload %q", *alg)
+	}
+
+	g, updates, err := gen.StreamFromRecipe(*recipe, *scale, *ops, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %s: %d vertices, %d edges, %d-update stream\n",
+		*recipe, g.NumVertices(), g.NumEdges(), len(updates))
+
+	d, err := vebo.NewDynamic(g, vebo.DynamicOptions{
+		Partitions:             *parts,
+		RebuildThreshold:       *threshold,
+		VertexRebuildThreshold: *vthreshold,
+		DisableViewReuse:       *noreuse,
+	})
+	if err != nil {
+		return err
+	}
+
+	n := g.NumVertices()
+	var queries, queryNanos, staleSum atomic.Int64
+	var queryErrOnce sync.Once
+	var queryErr error
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for q := 0; q < *queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := q; ; i += 7 {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := d.View()
+				root := vebo.VertexID(i % n)
+				qs := time.Now()
+				var qerr error
+				switch *alg {
+				case "pagerank":
+					_, qerr = v.PageRank(sys, 10)
+				case "bfs":
+					_, qerr = v.BFS(sys, root)
+				case "cc":
+					_, qerr = v.CC(sys)
+				case "bc":
+					_, qerr = v.BC(sys, root)
+				}
+				if qerr != nil {
+					queryErrOnce.Do(func() { queryErr = fmt.Errorf("query (%s/%s): %w", *system, *alg, qerr) })
+					return
+				}
+				queries.Add(1)
+				queryNanos.Add(int64(time.Since(qs)))
+				staleSum.Add(d.View().Epoch() - v.Epoch())
+			}
+		}(q)
+	}
+
+	start := time.Now()
+	batches := 0
+	for lo := 0; lo < len(updates); lo += *batch {
+		hi := lo + *batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			close(done)
+			wg.Wait()
+			return err
+		}
+		batches++
+		if *pace > 0 {
+			time.Sleep(*pace)
+		}
+	}
+	ingestElapsed := time.Since(start)
+	close(done)
+	wg.Wait()
+	wall := time.Since(start)
+	if queryErr != nil {
+		return queryErr
+	}
+
+	served := queries.Load()
+	fmt.Printf("ingested %d updates (%d batches) in %v while serving: %.0f updates/s\n",
+		len(updates), batches, ingestElapsed.Round(time.Millisecond),
+		float64(len(updates))/ingestElapsed.Seconds())
+	fmt.Printf("served %d %s/%s queries from %d goroutines: %.1f queries/s",
+		served, *system, *alg, *queriers, float64(served)/wall.Seconds())
+	if served > 0 {
+		fmt.Printf(", mean latency %v, mean staleness %.0f updates",
+			(time.Duration(queryNanos.Load()) / time.Duration(served)).Round(time.Microsecond),
+			float64(staleSum.Load())/float64(served))
+	}
+	fmt.Println()
+	work := d.ViewWork()
+	fmt.Printf("views: %d epochs published; engine builds %d full / %d patched (%d partitions reused, %d rebuilt)\n",
+		work.Epochs, work.EngineBuilds, work.EnginePatches, work.PartitionsReused, work.PartitionsRebuilt)
+	fmt.Printf("construction edges: %d rebuilt, %d patched, %d reused\n",
+		work.RebuildEdges, work.PatchedEdges, work.ReusedEdges)
+	edge, vert := d.Imbalance()
+	fmt.Printf("final Δ(n)=%d δ(n)=%d over %d partitions\n", edge, vert, *parts)
+	return nil
+}
+
 func run() error {
 	track := flag.Int("r", -1, "vertex to track through the reordering (-1: none)")
 	parts := flag.Int("p", 384, "number of graph partitions")
@@ -158,9 +314,12 @@ func run() error {
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "stream" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "stream":
 		err = runStream(os.Args[2:])
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "serve":
+		err = runServe(os.Args[2:])
+	default:
 		err = run()
 	}
 	if err != nil {

@@ -18,6 +18,7 @@ package algorithms
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/atomicf"
 	"repro/internal/engine"
@@ -142,7 +143,9 @@ func BFS(e engine.Engine, root graph.VertexID) []int32 {
 		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool {
 			return atomicf.CASI32(&parent[d], -1, int32(s))
 		},
-		Cond: func(d graph.VertexID) bool { return parent[d] < 0 },
+		// Sparse pushes race Cond against other workers' CAS on the same
+		// destination; the atomic load keeps that benign check race-free.
+		Cond: func(d graph.VertexID) bool { return atomic.LoadInt32(&parent[d]) < 0 },
 	}
 	f := frontier.FromVertex(g, root)
 	for !f.IsEmpty() {
@@ -189,16 +192,22 @@ func CC(e engine.Engine) []uint32 {
 	for i := range label {
 		label[i] = uint32(i)
 	}
+	// Label propagation reads source labels that a concurrently processed
+	// destination may be lowering (the classic Ligra CC race): loads and the
+	// owner's store are atomic so a torn or stale read can never corrupt a
+	// label — a stale read only defers the propagation to the next round,
+	// where the lowered source re-enters the frontier.
 	kernel := engine.EdgeKernel{
 		Update: func(s, d graph.VertexID, _ int32) bool {
-			if label[s] < label[d] {
-				label[d] = label[s]
+			ls := atomic.LoadUint32(&label[s])
+			if ls < atomic.LoadUint32(&label[d]) {
+				atomic.StoreUint32(&label[d], ls)
 				return true
 			}
 			return false
 		},
 		UpdateAtomic: func(s, d graph.VertexID, _ int32) bool {
-			return atomicf.MinU32(&label[d], label[s])
+			return atomicf.MinU32(&label[d], atomic.LoadUint32(&label[s]))
 		},
 	}
 	f := frontier.All(g)
@@ -243,16 +252,20 @@ func BellmanFord(e engine.Engine, root graph.VertexID) []int64 {
 		dist[i] = inf
 	}
 	dist[root] = 0
+	// As in CC, source distances may be lowered concurrently by the worker
+	// owning that vertex as a destination; atomic loads keep the relaxation
+	// race-free, and a stale read only postpones the relaxation to the next
+	// round.
 	kernel := engine.EdgeKernel{
 		Update: func(s, d graph.VertexID, w int32) bool {
-			if nd := dist[s] + int64(w); nd < dist[d] {
-				dist[d] = nd
+			if nd := atomic.LoadInt64(&dist[s]) + int64(w); nd < atomic.LoadInt64(&dist[d]) {
+				atomic.StoreInt64(&dist[d], nd)
 				return true
 			}
 			return false
 		},
 		UpdateAtomic: func(s, d graph.VertexID, w int32) bool {
-			return atomicf.MinI64(&dist[d], dist[s]+int64(w))
+			return atomicf.MinI64(&dist[d], atomic.LoadInt64(&dist[s])+int64(w))
 		},
 	}
 	f := frontier.FromVertex(g, root)

@@ -27,8 +27,21 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 11 {
+	if len(Experiments()) != 12 {
 		t.Fatalf("experiment count = %d", len(Experiments()))
+	}
+}
+
+func TestViewSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("view", tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"patched", "rebuild", "maintained", "work ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

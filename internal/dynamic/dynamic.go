@@ -2,32 +2,41 @@
 // edge insertions and deletions, so that engines never pay a full
 // O(n log P) reorder plus O(m) CSR/CSC rebuild per update batch.
 //
-// The design has three parts:
+// The design has four parts:
 //
 //   - Delta-log storage. The last compacted graph.Graph is kept immutable;
 //     inserted edges accumulate in an append-only log and deletions in a
-//     cancellation multiset keyed by (src,dst). Snapshot materializes the
-//     surviving edge set into a fresh CSR/CSC graph on demand (cached per
+//     cancellation multiset keyed by (src,dst,weight). Snapshot materializes
+//     the surviving edge set into a fresh CSR/CSC graph on demand (cached per
 //     mutation epoch) and Compact promotes that snapshot to the new base.
+//     Freeze captures the same state immutably so concurrent readers can
+//     materialize a snapshot without touching the live structures.
 //
 //   - Incremental balance accounting. Per-partition in-edge counts (the
 //     paper's w[p]) and vertex counts (u[p]) are updated in O(1) per edge
 //     update, so the tracked edge imbalance Δ(n) and vertex imbalance δ(n)
 //     are always available without touching the graph.
 //
-//   - Incremental ordering maintenance. Each update dirties its destination
-//     vertex — the vertex whose in-degree class changed. When Δ(n) exceeds
-//     the configured threshold, the paper's Algorithm 2 greedy placement is
+//   - Incremental ordering maintenance, gated on both imbalances. Each update
+//     dirties its destination vertex — the vertex whose in-degree class
+//     changed. When Δ(n) exceeds RebuildThreshold or δ(n) exceeds
+//     VertexRebuildThreshold, the paper's Algorithm 2 greedy placement is
 //     re-run over the dirty vertices only: they are pulled out of their
 //     partitions and re-placed in decreasing-degree order onto the
 //     least-loaded partition (least-edge for non-zero degrees, least-vertex
 //     for zero degrees), exactly as phases 1 and 2 do for the full vertex
 //     set. Vertices whose degree class did not change keep their placement,
 //     so the repair costs O(k log k + kP) for k dirty vertices instead of
-//     O(n log P). If the repair cannot pull Δ(n) back under the threshold
-//     (for example after deleting a hub whose partition cannot be refilled
-//     from dirty vertices alone) the subsystem falls back to a full
-//     core.ReorderDegrees rebuild.
+//     O(n log P). If the repair cannot pull both imbalances back under their
+//     thresholds the subsystem falls back to a full core.ReorderDegrees
+//     rebuild.
+//
+//   - View-delta tracking. Between drains (one per published facade view)
+//     the subsystem records the net resolved edge changes and whether any
+//     vertex moved partition. The facade derives the exact set of dirty
+//     partitions from the delta's destination endpoints and patches
+//     engine-side structures for unchanged partitions instead of rebuilding
+//     them (see the vebo.View API).
 //
 // See DESIGN.md §5 for how this subsystem fits the rest of the system.
 package dynamic
@@ -45,10 +54,16 @@ type Config struct {
 	// Partitions is the VEBO partition count P (default 64).
 	Partitions int
 	// RebuildThreshold is the Δ(n) value above which maintenance runs: first
-	// the dirty-vertex incremental repair, then — if Δ(n) is still above the
-	// threshold — a full reorder. Default 2, the paper's power-law bound
-	// (Theorem 1 gives Δ ≤ 1; one in-flight batch may add one more).
+	// the dirty-vertex incremental repair, then — if an imbalance is still
+	// above its threshold — a full reorder. Default 2, the paper's power-law
+	// bound (Theorem 1 gives Δ ≤ 1; one in-flight batch may add one more).
 	RebuildThreshold int64
+	// VertexRebuildThreshold is the δ(n) value above which maintenance runs.
+	// Repair placement balances edges first, so δ(n) drifts under edge-only
+	// gating (to ~35 on the 100k-update powerlaw stream); gating on δ(n) too
+	// bounds it. Default 4 (2× Theorem 2's δ ≤ ~1 static bound, with slack
+	// for in-flight batches).
+	VertexRebuildThreshold int64
 	// CompactEvery bounds the delta log: once the number of pending
 	// insertions plus pending deletions reaches it, ApplyBatch compacts the
 	// log into a fresh base graph. 0 selects an adaptive bound,
@@ -62,12 +77,18 @@ type Config struct {
 // continuously, and the repair cost scales with P.
 const DefaultPartitions = 64
 
+// DefaultVertexThreshold is the default δ(n) maintenance threshold.
+const DefaultVertexThreshold = 4
+
 func (c Config) withDefaults() Config {
 	if c.Partitions == 0 {
 		c.Partitions = DefaultPartitions
 	}
 	if c.RebuildThreshold == 0 {
 		c.RebuildThreshold = 2
+	}
+	if c.VertexRebuildThreshold == 0 {
+		c.VertexRebuildThreshold = DefaultVertexThreshold
 	}
 	return c
 }
@@ -99,6 +120,9 @@ type Stats struct {
 	Repairs int64
 	// RepairedVertices is the number of placements done by repairs alone.
 	RepairedVertices int64
+	// VertexMoves is the number of single-vertex moves performed by the
+	// δ(n) vertex-balance repair.
+	VertexMoves int64
 	// FullRebuilds is the number of full Algorithm 2 re-runs (not counting
 	// the initial ordering).
 	FullRebuilds int64
@@ -120,21 +144,35 @@ type edgeKey uint64
 
 func keyOf(s, d graph.VertexID) edgeKey { return edgeKey(s)<<32 | edgeKey(d) }
 
+// wkey addresses one (src,dst,weight) edge class; weights are stored
+// normalized (1 on unweighted graphs and for zero input weights).
+type wkey struct {
+	k edgeKey
+	w int32
+}
+
 // Graph is a mutable graph with an incrementally maintained VEBO ordering.
-// It is not safe for concurrent use; callers serialize ApplyBatch against
-// reads, or read from an immutable Snapshot.
+// Mutation is single-writer: callers serialize ApplyBatch/Compact/Rebuild.
+// Concurrent readers use Freeze (or the facade's View API), or keep an old
+// immutable Snapshot.
 type Graph struct {
 	cfg      Config
 	n        int
 	weighted bool
 
-	// base is the last compacted immutable graph; pendingAdd and the del/add
-	// cancellation counts are the delta log on top of it.
+	// base is the last compacted immutable graph; pendingAdd and the
+	// cancellation counts below are the delta log on top of it.
 	base       *graph.Graph
 	pendingAdd []graph.Edge
-	addCount   map[edgeKey]int64 // multiplicity of (s,d) within pendingAdd
-	delCount   map[edgeKey]int64 // pending deletions of (s,d), cancelling
-	// occurrences in base-then-pendingAdd order
+	// addAlive[k] holds the weights of the surviving pending insertions of
+	// pair k in insertion order (top = most recent). Its length is the
+	// surviving pending multiplicity of the pair.
+	addAlive map[edgeKey][]int32
+	// delBase[{k,w}] counts pending deletions cancelling base occurrences of
+	// (k, weight w), earliest-in-CSR-order first; delPair[k] is the per-pair
+	// total of those counts.
+	delBase     map[wkey]int64
+	delPair     map[edgeKey]int64
 	pendingDels int64
 	liveEdges   int64
 
@@ -156,8 +194,17 @@ type Graph struct {
 	snapCache *graph.Graph
 	snapEpoch int64
 
-	ordCache *core.Result
-	ordEpoch int64
+	// placeEpoch increments whenever any vertex changes partition (repair or
+	// rebuild). The cached permutation is stable across epochs that only
+	// change degrees, which is what makes engine-side patching possible.
+	placeEpoch int64
+	ordPerm    []graph.VertexID
+	ordPartOf  []uint32
+	ordPlace   int64
+
+	// View-delta accumulators, drained by DrainViewDelta.
+	viewNet   map[graph.Edge]int64
+	viewPlace bool
 }
 
 // New wraps g in a dynamic graph, computing the initial VEBO ordering.
@@ -172,14 +219,16 @@ func New(g *graph.Graph, cfg Config) (*Graph, error) {
 		n:         g.NumVertices(),
 		weighted:  g.Weighted(),
 		base:      g,
-		addCount:  make(map[edgeKey]int64),
-		delCount:  make(map[edgeKey]int64),
+		addAlive:  make(map[edgeKey][]int32),
+		delBase:   make(map[wkey]int64),
+		delPair:   make(map[edgeKey]int64),
 		liveEdges: g.NumEdges(),
 		degIn:     g.InDegrees(),
 		assign:    make([]uint32, g.NumVertices()),
 		partEdges: append([]int64(nil), r.EdgeCounts...),
 		partVerts: append([]int64(nil), r.VertexCounts...),
 		dirty:     make(map[graph.VertexID]struct{}),
+		viewNet:   make(map[graph.Edge]int64),
 	}
 	copy(d.assign, r.PartitionOf)
 	d.stats.Placements = int64(d.n)
@@ -193,6 +242,9 @@ func (d *Graph) NumVertices() int { return d.n }
 // NumEdges reports the number of live edges (base − pending deletions +
 // pending insertions).
 func (d *Graph) NumEdges() int64 { return d.liveEdges }
+
+// Weighted reports whether the graph carries non-unit edge weights.
+func (d *Graph) Weighted() bool { return d.weighted }
 
 // Partitions reports the partition count P.
 func (d *Graph) Partitions() int { return d.cfg.Partitions }
@@ -218,6 +270,13 @@ func (d *Graph) InDegree(v graph.VertexID) int64 { return d.degIn[v] }
 // Stats returns the accumulated work counters.
 func (d *Graph) Stats() Stats { return d.stats }
 
+// Epoch returns the mutation epoch, incremented on every applied update.
+func (d *Graph) Epoch() int64 { return d.epoch }
+
+// PlaceEpoch returns the placement epoch, incremented whenever any vertex
+// changes partition.
+func (d *Graph) PlaceEpoch() int64 { return d.placeEpoch }
+
 // PendingOps reports the current delta-log size (pending insertions plus
 // pending deletions against the base graph).
 func (d *Graph) PendingOps() int64 { return int64(len(d.pendingAdd)) + d.pendingDels }
@@ -234,15 +293,37 @@ func (d *Graph) baseMultiplicity(s, dst graph.VertexID) int64 {
 	return c
 }
 
+// baseMultiplicityW counts base occurrences of (s,d) with exactly weight w.
+func (d *Graph) baseMultiplicityW(s, dst graph.VertexID, w int32) int64 {
+	nbrs := d.base.OutNeighbors(s)
+	ws := d.base.OutWeights(s)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
+	var c int64
+	for ; i < len(nbrs) && nbrs[i] == dst; i++ {
+		if ws[i] == w {
+			c++
+		}
+	}
+	return c
+}
+
 // liveMultiplicity counts the surviving occurrences of edge (s,d).
 func (d *Graph) liveMultiplicity(s, dst graph.VertexID) int64 {
 	k := keyOf(s, dst)
-	return d.baseMultiplicity(s, dst) + d.addCount[k] - d.delCount[k]
+	return d.baseMultiplicity(s, dst) + int64(len(d.addAlive[k])) - d.delPair[k]
 }
 
 // HasEdge reports whether at least one live (s,d) edge exists.
 func (d *Graph) HasEdge(s, dst graph.VertexID) bool {
 	return d.liveMultiplicity(s, dst) > 0
+}
+
+// normWeight maps an input weight to its stored form.
+func (d *Graph) normWeight(w int32) int32 {
+	if !d.weighted || w == 0 {
+		return 1
+	}
+	return w
 }
 
 // ApplyBatch applies the updates in order, maintains the per-partition
@@ -257,7 +338,7 @@ func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
 			return d.finishBatch(res), fmt.Errorf("dynamic: update %d: edge (%d,%d) out of range n=%d", i, u.Src, u.Dst, d.n)
 		}
 		if u.Del {
-			if err := d.deleteEdge(u.Src, u.Dst); err != nil {
+			if err := d.deleteEdge(u.Src, u.Dst, u.Weight); err != nil {
 				return d.finishBatch(res), fmt.Errorf("dynamic: update %d: %w", i, err)
 			}
 		} else {
@@ -268,12 +349,19 @@ func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
 	return d.finishBatch(res), nil
 }
 
+// overThreshold reports whether either tracked imbalance exceeds its
+// maintenance threshold.
+func (d *Graph) overThreshold() bool {
+	return d.EdgeImbalance() > d.cfg.RebuildThreshold ||
+		d.VertexImbalance() > d.cfg.VertexRebuildThreshold
+}
+
 // finishBatch runs the end-of-batch maintenance and fills the result.
 func (d *Graph) finishBatch(res BatchResult) BatchResult {
-	if d.EdgeImbalance() > d.cfg.RebuildThreshold {
+	if d.overThreshold() {
 		d.repair()
 		res.Repaired = true
-		if d.EdgeImbalance() > d.cfg.RebuildThreshold {
+		if d.overThreshold() {
 			d.rebuild()
 			res.Rebuilt = true
 		}
@@ -288,51 +376,127 @@ func (d *Graph) finishBatch(res BatchResult) BatchResult {
 }
 
 func (d *Graph) insertEdge(s, dst graph.VertexID, w int32) {
-	if !d.weighted || w == 0 {
-		w = 1
-	}
+	w = d.normWeight(w)
 	k := keyOf(s, dst)
 	d.pendingAdd = append(d.pendingAdd, graph.Edge{Src: s, Dst: dst, Weight: w})
-	d.addCount[k]++
+	d.addAlive[k] = append(d.addAlive[k], w)
 	d.liveEdges++
 	d.degIn[dst]++
 	d.partEdges[d.assign[dst]]++
 	d.dirty[dst] = struct{}{}
+	d.noteChange(graph.Edge{Src: s, Dst: dst, Weight: w}, +1)
 	d.touch()
 	d.stats.Updates++
 	d.stats.Inserts++
 }
 
-func (d *Graph) deleteEdge(s, dst graph.VertexID) error {
+// deleteEdge cancels one live (s,dst) occurrence. A non-zero wSel on a
+// weighted graph selects among parallel edges: only an occurrence carrying
+// exactly that weight may die. With no selector (wSel == 0, or any value on
+// unweighted graphs) the most recent pending log insertion dies first, else
+// the earliest surviving base occurrence — deterministic either way, and the
+// resolved weight is recorded so snapshots and view deltas agree
+// edge-for-edge.
+func (d *Graph) deleteEdge(s, dst graph.VertexID, wSel int32) error {
 	k := keyOf(s, dst)
-	if d.liveMultiplicity(s, dst) <= 0 {
-		return fmt.Errorf("delete of non-existent edge (%d,%d)", s, dst)
+	if !d.weighted {
+		wSel = 0
 	}
-	// Cancel a pending log insertion of the same pair first (the most
-	// recently inserted surviving occurrence); otherwise record a deletion
-	// against the base graph, which cancels base occurrences earliest-in-
-	// CSR-order first at snapshot time. Either way, which physical
-	// occurrence dies is deterministic. On unweighted graphs all
-	// occurrences of a pair are identical; on weighted graphs the rule is
-	// arbitrary but stable (see ROADMAP: weight-aware deletion).
-	if d.addCount[k] > 0 {
-		d.addCount[k]--
-		if d.addCount[k] == 0 {
-			delete(d.addCount, k)
+	var died int32
+	if wSel == 0 {
+		if alive := d.addAlive[k]; len(alive) > 0 {
+			died = alive[len(alive)-1]
+			d.popAlive(k, len(alive)-1)
+		} else {
+			w, ok := d.earliestLiveBase(s, dst)
+			if !ok {
+				return fmt.Errorf("delete of non-existent edge (%d,%d)", s, dst)
+			}
+			died = w
+			d.cancelBase(k, w)
 		}
-		// The log entry itself is dropped lazily at snapshot/compaction.
 	} else {
-		d.delCount[k]++
-		d.pendingDels++
+		alive := d.addAlive[k]
+		i := len(alive) - 1
+		for ; i >= 0; i-- {
+			if alive[i] == wSel {
+				break
+			}
+		}
+		switch {
+		case i >= 0:
+			died = wSel
+			d.popAlive(k, i)
+		case d.baseMultiplicityW(s, dst, wSel)-d.delBase[wkey{k, wSel}] > 0:
+			died = wSel
+			d.cancelBase(k, wSel)
+		default:
+			return fmt.Errorf("delete of non-existent edge (%d,%d) with weight %d", s, dst, wSel)
+		}
 	}
 	d.liveEdges--
 	d.degIn[dst]--
 	d.partEdges[d.assign[dst]]--
 	d.dirty[dst] = struct{}{}
+	d.noteChange(graph.Edge{Src: s, Dst: dst, Weight: died}, -1)
 	d.touch()
 	d.stats.Updates++
 	d.stats.Deletes++
 	return nil
+}
+
+// popAlive removes index i from pair k's surviving-pending weight list.
+func (d *Graph) popAlive(k edgeKey, i int) {
+	alive := d.addAlive[k]
+	alive = append(alive[:i], alive[i+1:]...)
+	if len(alive) == 0 {
+		delete(d.addAlive, k)
+	} else {
+		d.addAlive[k] = alive
+	}
+	// The log entry itself is dropped lazily at snapshot/compaction.
+}
+
+// cancelBase records a deletion against a base occurrence of (k, w).
+func (d *Graph) cancelBase(k edgeKey, w int32) {
+	d.delBase[wkey{k, w}]++
+	d.delPair[k]++
+	d.pendingDels++
+}
+
+// earliestLiveBase locates the earliest base occurrence of (s,dst) not yet
+// cancelled and returns its weight. Cancellations are per-weight prefixes of
+// the parallel-edge run, so an occurrence is live iff the number of
+// same-weight occurrences before it covers the weight's cancellation count.
+func (d *Graph) earliestLiveBase(s, dst graph.VertexID) (int32, bool) {
+	nbrs := d.base.OutNeighbors(s)
+	ws := d.base.OutWeights(s)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
+	k := keyOf(s, dst)
+	var seen map[int32]int64
+	for ; i < len(nbrs) && nbrs[i] == dst; i++ {
+		w := ws[i]
+		cancelled := d.delBase[wkey{k, w}]
+		if cancelled == 0 {
+			return w, true
+		}
+		if seen == nil {
+			seen = make(map[int32]int64, 4)
+		}
+		if seen[w] >= cancelled {
+			return w, true
+		}
+		seen[w]++
+	}
+	return 0, false
+}
+
+// noteChange accumulates the view delta for one resolved edge change.
+func (d *Graph) noteChange(e graph.Edge, sign int64) {
+	d.viewNet[e] += sign
+	if d.viewNet[e] == 0 {
+		delete(d.viewNet, e)
+	}
 }
 
 func (d *Graph) touch() {
@@ -366,9 +530,14 @@ func (d *Graph) repair() {
 	for _, v := range verts {
 		var q int
 		if d.degIn[v] > 0 {
-			q = argMin(d.partEdges)
+			// Least-edges placement as in phase 1, but ties broken toward the
+			// least-vertex partition: repairs run continuously, and an
+			// edge-only arg-min lets δ(n) drift batch over batch (ROADMAP's
+			// δ-drift item) while the tie-break keeps it near the static
+			// bound at no cost to Δ(n).
+			q = argMin2(d.partEdges, d.partVerts)
 		} else {
-			q = argMin(d.partVerts)
+			q = argMin2(d.partVerts, d.partEdges)
 		}
 		d.assign[v] = uint32(q)
 		d.partEdges[q] += d.degIn[v]
@@ -378,7 +547,85 @@ func (d *Graph) repair() {
 	d.stats.RepairedVertices += int64(len(verts))
 	d.stats.Placements += int64(len(verts))
 	d.dirty = make(map[graph.VertexID]struct{})
-	d.ordCache = nil
+	d.placementChanged()
+	if d.VertexImbalance() > d.cfg.VertexRebuildThreshold {
+		d.vertexRepair()
+	}
+}
+
+// vertexRepair pulls δ(n) back under its threshold by moving the
+// lowest-degree vertices of overfull partitions onto the least-vertex
+// partition. Edge-focused repairs run continuously and place by least-edges,
+// so vertex counts drift batch over batch (the ROADMAP δ-drift item); this
+// pass corrects them directly, preferring zero-degree vertices whose move
+// cannot disturb Δ(n). If it runs out of useful moves the caller's
+// threshold check falls through to a full rebuild.
+func (d *Graph) vertexRepair() {
+	th := d.cfg.VertexRebuildThreshold
+	p := d.cfg.Partitions
+	lists := make([][]graph.VertexID, p)
+	for v := 0; v < d.n; v++ {
+		q := d.assign[v]
+		lists[q] = append(lists[q], graph.VertexID(v))
+	}
+	// Bucketing is O(n); sorting is deferred until a partition actually
+	// becomes the overfull donor, so a typical invocation sorts one or two
+	// partitions (O(n/P log n/P)) instead of all of them.
+	sorted := make([]bool, p)
+	ptr := make([]int, p)
+	var moves int64
+	for i := 0; i < d.n; i++ {
+		pmax := argMin2Neg(d.partVerts)
+		pmin := argMin2(d.partVerts, d.partEdges)
+		if d.partVerts[pmax]-d.partVerts[pmin] <= th {
+			break
+		}
+		if !sorted[pmax] {
+			l := lists[pmax]
+			sort.Slice(l, func(i, j int) bool {
+				if d.degIn[l[i]] != d.degIn[l[j]] {
+					return d.degIn[l[i]] < d.degIn[l[j]]
+				}
+				return l[i] < l[j]
+			})
+			sorted[pmax] = true
+		}
+		var v graph.VertexID
+		found := false
+		for ptr[pmax] < len(lists[pmax]) {
+			cand := lists[pmax][ptr[pmax]]
+			ptr[pmax]++
+			if d.assign[cand] == uint32(pmax) {
+				v, found = cand, true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		d.assign[v] = uint32(pmin)
+		d.partVerts[pmax]--
+		d.partVerts[pmin]++
+		d.partEdges[pmax] -= d.degIn[v]
+		d.partEdges[pmin] += d.degIn[v]
+		moves++
+	}
+	if moves > 0 {
+		d.stats.Placements += moves
+		d.stats.VertexMoves += moves
+		d.placementChanged()
+	}
+}
+
+// argMin2Neg returns the index of the maximum value (lowest index wins ties).
+func argMin2Neg(xs []int64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // rebuild runs the full Algorithm 2 over the live degree array.
@@ -394,56 +641,122 @@ func (d *Graph) rebuild() {
 	d.dirty = make(map[graph.VertexID]struct{})
 	d.stats.FullRebuilds++
 	d.stats.Placements += int64(d.n)
-	d.ordCache = nil
+	d.placementChanged()
 }
 
-// Rebuild forces a full reorder regardless of the threshold.
+// placementChanged invalidates everything keyed to the placement: the cached
+// permutation and the patchability of engine-side structures.
+func (d *Graph) placementChanged() {
+	d.placeEpoch++
+	d.viewPlace = true
+}
+
+// Rebuild forces a full reorder regardless of the thresholds.
 func (d *Graph) Rebuild() { d.rebuild() }
 
-func argMin(xs []int64) int {
+// argMin2 returns the index minimizing primary, breaking ties by secondary.
+func argMin2(primary, secondary []int64) int {
 	best := 0
-	for i := 1; i < len(xs); i++ {
-		if xs[i] < xs[best] {
+	for i := 1; i < len(primary); i++ {
+		if primary[i] < primary[best] ||
+			(primary[i] == primary[best] && secondary[i] < secondary[best]) {
 			best = i
 		}
 	}
 	return best
 }
 
-// survivingEdges materializes the live edge multiset in deterministic order:
-// base edges in CSR order with pending deletions cancelling their earliest
-// occurrences, followed by surviving log insertions in arrival order.
-func (d *Graph) survivingEdges() []graph.Edge {
-	edges := make([]graph.Edge, 0, d.liveEdges)
-	var dels map[edgeKey]int64
-	if len(d.delCount) > 0 {
-		dels = make(map[edgeKey]int64, len(d.delCount))
-		for k, c := range d.delCount {
+// Frozen is an immutable capture of the live edge multiset at one epoch. It
+// shares the base graph and the append-only prefix of the pending log with
+// the live structure and copies only the (small) cancellation bookkeeping,
+// so freezing costs O(pending) regardless of graph size. A Frozen may be
+// materialized from any goroutine, concurrently with further ApplyBatch
+// calls on the source graph.
+type Frozen struct {
+	n         int
+	weighted  bool
+	epoch     int64
+	liveEdges int64
+	base      *graph.Graph
+	pending   []graph.Edge
+	needW     map[wkey]int64 // surviving pending insertions per (s,d,w)
+	delBase   map[wkey]int64 // base cancellations per (s,d,w)
+}
+
+// Freeze captures the current live edge multiset.
+func (d *Graph) Freeze() Frozen {
+	f := Frozen{
+		n:         d.n,
+		weighted:  d.weighted,
+		epoch:     d.epoch,
+		liveEdges: d.liveEdges,
+		base:      d.base,
+		pending:   d.pendingAdd[:len(d.pendingAdd):len(d.pendingAdd)],
+	}
+	if len(d.addAlive) > 0 {
+		f.needW = make(map[wkey]int64, len(d.addAlive))
+		for k, alive := range d.addAlive {
+			for _, w := range alive {
+				f.needW[wkey{k, w}]++
+			}
+		}
+	}
+	if len(d.delBase) > 0 {
+		f.delBase = make(map[wkey]int64, len(d.delBase))
+		for k, c := range d.delBase {
+			f.delBase[k] = c
+		}
+	}
+	return f
+}
+
+// Epoch returns the mutation epoch the capture was taken at.
+func (f Frozen) Epoch() int64 { return f.epoch }
+
+// NumVertices reports the vertex count.
+func (f Frozen) NumVertices() int { return f.n }
+
+// NumEdges reports the live edge count of the capture.
+func (f Frozen) NumEdges() int64 { return f.liveEdges }
+
+// Materialize builds the captured edge multiset as an immutable CSR+CSC
+// graph, in deterministic order: base edges in CSR order with cancellations
+// consuming the earliest same-weight occurrences, then surviving log
+// insertions in arrival order.
+func (f Frozen) Materialize() *graph.Graph {
+	edges := make([]graph.Edge, 0, f.liveEdges)
+	var dels map[wkey]int64
+	if len(f.delBase) > 0 {
+		dels = make(map[wkey]int64, len(f.delBase))
+		for k, c := range f.delBase {
 			dels[k] = c
 		}
 	}
-	for _, e := range d.base.Edges() {
-		k := keyOf(e.Src, e.Dst)
+	for _, e := range f.base.Edges() {
+		k := wkey{keyOf(e.Src, e.Dst), e.Weight}
 		if dels[k] > 0 {
 			dels[k]--
 			continue
 		}
 		edges = append(edges, e)
 	}
-	// Of each pair's log entries, the first addCount[k] survive: deletions
-	// consumed the most recently inserted ones.
-	if len(d.pendingAdd) > 0 {
-		adds := make(map[edgeKey]int64, len(d.addCount))
-		for _, e := range d.pendingAdd {
-			k := keyOf(e.Src, e.Dst)
-			if adds[k] >= d.addCount[k] {
+	if len(f.pending) > 0 {
+		emitted := make(map[wkey]int64, len(f.needW))
+		for _, e := range f.pending {
+			k := wkey{keyOf(e.Src, e.Dst), e.Weight}
+			if emitted[k] >= f.needW[k] {
 				continue // cancelled by a later deletion
 			}
-			adds[k]++
+			emitted[k]++
 			edges = append(edges, e)
 		}
 	}
-	return edges
+	g, err := graph.FromEdges(f.n, edges, f.weighted)
+	if err != nil {
+		// Unreachable: every applied update was range-checked.
+		panic(err)
+	}
+	return g
 }
 
 // Snapshot materializes the live graph as an immutable CSR+CSC graph.Graph
@@ -455,59 +768,157 @@ func (d *Graph) Snapshot() *graph.Graph {
 	if d.snapCache != nil && d.snapEpoch == d.epoch {
 		return d.snapCache
 	}
-	g, err := graph.FromEdges(d.n, d.survivingEdges(), d.weighted)
-	if err != nil {
-		// Unreachable: every applied update was range-checked.
-		panic(err)
-	}
+	g := d.Freeze().Materialize()
 	d.snapCache, d.snapEpoch = g, d.epoch
 	return g
 }
 
 // Compact promotes the current snapshot to the new base graph and clears the
-// delta log. Engines holding older snapshots are unaffected.
+// delta log. Engines holding older snapshots (and views holding older
+// freezes) are unaffected: the old base and log prefix stay immutable.
 func (d *Graph) Compact() {
 	d.base = d.Snapshot()
 	d.pendingAdd = nil
-	d.addCount = make(map[edgeKey]int64)
-	d.delCount = make(map[edgeKey]int64)
+	d.addAlive = make(map[edgeKey][]int32)
+	d.delBase = make(map[wkey]int64)
+	d.delPair = make(map[edgeKey]int64)
 	d.pendingDels = 0
 	d.stats.Compactions++
 }
 
 // Ordering returns the current placement as a core.Result: the permutation
-// renumbers vertices so each partition owns a contiguous new-ID range with
-// vertices in decreasing live-degree order inside it, exactly as Algorithm
-// 2's phase 3 does. The result is cached until the next placement change.
+// renumbers vertices so each partition owns a contiguous new-ID range, with
+// vertices in decreasing degree order (as of the last placement change)
+// inside it, as Algorithm 2's phase 3 does. The permutation is recomputed
+// only when a vertex changes partition — degree-only epochs keep the exact
+// numbering, which is what lets engine-side structures of unchanged
+// partitions be reused — while the returned per-partition counts are always
+// current. The Perm and PartitionOf slices are shared and immutable; callers
+// must not modify them.
 func (d *Graph) Ordering() *core.Result {
-	if d.ordCache != nil && d.ordEpoch == d.epoch {
-		return d.ordCache
+	if d.ordPerm == nil || d.ordPlace != d.placeEpoch {
+		order := make([]int, d.n)
+		for v := range order {
+			order[v] = v
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if d.assign[a] != d.assign[b] {
+				return d.assign[a] < d.assign[b]
+			}
+			if d.degIn[a] != d.degIn[b] {
+				return d.degIn[a] > d.degIn[b]
+			}
+			return a < b
+		})
+		perm := make([]graph.VertexID, d.n)
+		for newID, v := range order {
+			perm[v] = graph.VertexID(newID)
+		}
+		d.ordPerm = perm
+		d.ordPartOf = append([]uint32(nil), d.assign...)
+		d.ordPlace = d.placeEpoch
 	}
-	p := d.cfg.Partitions
-	r := &core.Result{
-		P:            p,
-		Perm:         make([]graph.VertexID, d.n),
-		PartitionOf:  append([]uint32(nil), d.assign...),
+	return &core.Result{
+		P:            d.cfg.Partitions,
+		Perm:         d.ordPerm,
+		PartitionOf:  d.ordPartOf,
 		VertexCounts: d.VertexCounts(),
 		EdgeCounts:   d.EdgeCounts(),
 	}
-	order := make([]int, d.n)
-	for v := range order {
-		order[v] = v
+}
+
+// ViewDelta describes everything that changed between two drains: the net
+// resolved edge changes and whether the placement moved. The facade
+// publishes one view per drain and uses the delta to patch engine-side
+// structures instead of rebuilding them; the exact set of dirty partitions
+// is derived from the delta's destination endpoints.
+type ViewDelta struct {
+	// Net maps an edge triple (Src, Dst, normalized Weight) to its net
+	// multiplicity change since the last drain. Entries are never zero.
+	Net map[graph.Edge]int64
+	// PlacementChanged reports whether any vertex changed partition since
+	// the last drain, invalidating the permutation and partition bounds.
+	PlacementChanged bool
+	// Updates counts the net edge changes covered by this delta.
+	Updates int64
+}
+
+// DrainViewDelta returns the accumulated delta and resets the accumulators.
+// Single-writer: call only from the goroutine that applies batches.
+func (d *Graph) DrainViewDelta() ViewDelta {
+	vd := ViewDelta{
+		Net:              d.viewNet,
+		PlacementChanged: d.viewPlace,
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if d.assign[a] != d.assign[b] {
-			return d.assign[a] < d.assign[b]
+	for _, c := range vd.Net {
+		if c > 0 {
+			vd.Updates += c
+		} else {
+			vd.Updates -= c
 		}
-		if d.degIn[a] != d.degIn[b] {
-			return d.degIn[a] > d.degIn[b]
-		}
-		return a < b
-	})
-	for newID, v := range order {
-		r.Perm[v] = graph.VertexID(newID)
 	}
-	d.ordCache, d.ordEpoch = r, d.epoch
-	return r
+	d.viewNet = make(map[graph.Edge]int64)
+	d.viewPlace = false
+	return vd
+}
+
+// Merge combines vd (earlier) with later into a fresh delta covering both
+// windows. Neither input is mutated.
+func (vd ViewDelta) Merge(later ViewDelta) ViewDelta {
+	out := ViewDelta{
+		Net:              make(map[graph.Edge]int64, len(vd.Net)+len(later.Net)),
+		PlacementChanged: vd.PlacementChanged || later.PlacementChanged,
+		Updates:          vd.Updates + later.Updates,
+	}
+	for e, c := range vd.Net {
+		out.Net[e] = c
+	}
+	for e, c := range later.Net {
+		out.Net[e] += c
+		if out.Net[e] == 0 {
+			delete(out.Net, e)
+		}
+	}
+	return out
+}
+
+// Subtract returns the delta covering this delta's window minus a prefix of
+// it: Net is the exact multiset difference; PlacementChanged is left for
+// the caller to set from placement epochs. Neither input is mutated.
+func (vd ViewDelta) Subtract(prefix ViewDelta) ViewDelta {
+	out := ViewDelta{
+		Net: make(map[graph.Edge]int64, len(vd.Net)),
+	}
+	for e, c := range vd.Net {
+		out.Net[e] = c
+	}
+	for e, c := range prefix.Net {
+		out.Net[e] -= c
+		if out.Net[e] == 0 {
+			delete(out.Net, e)
+		}
+	}
+	for _, c := range out.Net {
+		if c > 0 {
+			out.Updates += c
+		} else {
+			out.Updates -= c
+		}
+	}
+	return out
+}
+
+// AddsDels expands the net delta into explicit insertion and deletion lists
+// (multiplicities unrolled).
+func (vd ViewDelta) AddsDels() (adds, dels []graph.Edge) {
+	for e, c := range vd.Net {
+		for ; c > 0; c-- {
+			adds = append(adds, e)
+		}
+		for ; c < 0; c++ {
+			dels = append(dels, e)
+		}
+	}
+	return adds, dels
 }

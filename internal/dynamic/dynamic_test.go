@@ -321,3 +321,147 @@ func TestRandomizedMixedChurn(t *testing.T) {
 		t.Fatalf("snapshot differs after mixed churn: %d edges vs %d", d.Snapshot().NumEdges(), want.NumEdges())
 	}
 }
+
+// referenceSurvivorsWeighted replays a stream whose deletions all carry
+// explicit weight selectors against a plain (src,dst,weight) multiset. With
+// selectors, which occurrence dies is fully determined by the triple, so the
+// multiset reference predicts the exact surviving edge set.
+func referenceSurvivorsWeighted(g *graph.Graph, updates []graph.EdgeUpdate) map[graph.Edge]int64 {
+	count := make(map[graph.Edge]int64)
+	for _, e := range g.Edges() {
+		count[e]++
+	}
+	for _, u := range updates {
+		e := graph.Edge{Src: u.Src, Dst: u.Dst, Weight: u.Weight}
+		if u.Del {
+			count[e]--
+			if count[e] == 0 {
+				delete(count, e)
+			}
+		} else {
+			count[e]++
+		}
+	}
+	return count
+}
+
+// TestWeightedDeletionSemantics is the weighted edge-for-edge property test:
+// EdgeUpdate.Weight selects which parallel edge a deletion cancels, so after
+// any weighted churn stream the snapshot's (src,dst,weight) multiset matches
+// the reference replay exactly, across compactions.
+func TestWeightedDeletionSemantics(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		g, err := gen.ErdosRenyiWeighted(200, 1500, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates, err := gen.EdgeStream(g, gen.StreamConfig{
+			Ops: 4000, DeleteFrac: 0.45, PreferentialFrac: 0.5, Weighted: true, Seed: seed + 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range updates {
+			if u.Del && u.Weight == 0 {
+				t.Fatalf("update %d: weighted stream emitted deletion without weight selector", i)
+			}
+		}
+		d, err := New(g, Config{Partitions: 16, CompactEvery: 700})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyStream(t, d, updates, 128)
+
+		want := referenceSurvivorsWeighted(g, updates)
+		got := make(map[graph.Edge]int64)
+		var total int64
+		for _, e := range d.Snapshot().Edges() {
+			got[e]++
+			total++
+		}
+		for e, c := range want {
+			if got[e] != c {
+				t.Fatalf("seed %d: edge %+v multiplicity %d, want %d", seed, e, got[e], c)
+			}
+		}
+		if int64(len(got)) != int64(len(want)) || total != d.NumEdges() {
+			t.Fatalf("seed %d: %d distinct triples (want %d), %d edges (want %d)",
+				seed, len(got), len(want), total, d.NumEdges())
+		}
+		if d.Stats().Compactions == 0 {
+			t.Fatalf("seed %d: expected compactions with CompactEvery=700", seed)
+		}
+	}
+}
+
+// TestWeightedDeleteSelectorValidation checks that a weight selector only
+// cancels an edge carrying exactly that weight, and that unselected
+// deletions on weighted graphs resolve deterministically (most recent
+// pending insertion first, else earliest base occurrence).
+func TestWeightedDeleteSelectorValidation(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1, Weight: 5}, {Src: 0, Dst: 1, Weight: 9}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selector matching no live weight fails; the edges stay live.
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{{Src: 0, Dst: 1, Weight: 7, Del: true}}); err == nil {
+		t.Fatal("expected error deleting (0,1) weight 7")
+	}
+	if d.NumEdges() != 2 {
+		t.Fatalf("live edges %d, want 2", d.NumEdges())
+	}
+	// Selector 9 kills exactly the weight-9 parallel edge.
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{{Src: 0, Dst: 1, Weight: 9, Del: true}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if snap.NumEdges() != 1 || snap.OutWeights(0)[0] != 5 {
+		t.Fatalf("surviving edge wrong: %d edges, weights %v", snap.NumEdges(), snap.OutWeights(0))
+	}
+	// Unselected delete after inserting weight 3: the pending insertion dies
+	// first, leaving the base weight-5 edge.
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{
+		{Src: 0, Dst: 1, Weight: 3},
+		{Src: 0, Dst: 1, Del: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap = d.Snapshot()
+	if snap.NumEdges() != 1 || snap.OutWeights(0)[0] != 5 {
+		t.Fatalf("unselected delete resolved wrongly: weights %v", snap.OutWeights(0))
+	}
+}
+
+// TestVertexImbalanceBounded is the δ(n)-gating regression test: under
+// edge-only gating the 100k-update powerlaw stream drifted to δ(n) ≈ 35
+// while Δ(n) stayed ≤ 2 (the ROADMAP item); with the δ gate and the
+// vertex-balance repair the post-stream δ(n) is bounded by the threshold.
+func TestVertexImbalanceBounded(t *testing.T) {
+	const batch = 1024
+	g, updates, err := gen.StreamFromRecipe("powerlaw", 0.2, 100_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, batch)
+	if got, want := d.VertexImbalance(), int64(DefaultVertexThreshold); got > want {
+		t.Fatalf("post-stream δ(n) = %d exceeds the gate threshold %d", got, want)
+	}
+	if d.EdgeImbalance() > 2*2 {
+		t.Fatalf("post-stream Δ(n) = %d degraded past 2× the edge threshold", d.EdgeImbalance())
+	}
+	// The gate must not degrade incrementality: far fewer placements than
+	// re-running Algorithm 2 after every batch.
+	batches := int64((len(updates) + batch - 1) / batch)
+	if st := d.Stats(); st.Placements*2 >= batches*int64(g.NumVertices()) {
+		t.Fatalf("placements %d not well under rebuild-every-batch %d",
+			st.Placements, batches*int64(g.NumVertices()))
+	}
+}

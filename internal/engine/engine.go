@@ -26,10 +26,12 @@
 package engine
 
 import (
+	"sort"
+	"sync"
+
 	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/numa"
-	"sort"
 )
 
 // Cost-model weights, in abstract units of one edge scan.
@@ -113,16 +115,23 @@ type Step struct {
 	PartitionCosts []int64
 }
 
-// Metrics accumulates Step records and the total modeled time.
+// Metrics accumulates Step records and the total modeled time. Accumulation
+// is mutex-guarded so engines cached in a concurrent-read context (the
+// facade's View API) stay race-free; when several readers share one engine
+// their steps interleave in the log. Direct field reads are safe once the
+// engine is quiescent.
 type Metrics struct {
+	mu        sync.Mutex
 	Steps     []Step
 	ModelTime int64 // sum of step makespans
 }
 
 // Add appends a step and accumulates its makespan.
 func (m *Metrics) Add(s Step) {
+	m.mu.Lock()
 	m.Steps = append(m.Steps, s)
 	m.ModelTime += s.Makespan
+	m.mu.Unlock()
 }
 
 // Sum totals a cost slice.
@@ -136,8 +145,10 @@ func Sum(costs []int64) int64 {
 
 // Reset clears the accumulated metrics.
 func (m *Metrics) Reset() {
+	m.mu.Lock()
 	m.Steps = nil
 	m.ModelTime = 0
+	m.mu.Unlock()
 }
 
 // LastStep returns the most recent step, or nil.
@@ -275,6 +286,23 @@ func MakespanGrouped(costs []int64, groups, workersPerGroup int) int64 {
 		}
 	}
 	return max
+}
+
+// PatchStats reports how much of an engine rebuild was avoided by patching:
+// partitions whose materialized structures (COOs, partition metadata,
+// scheduling units) were carried over from the previous epoch's engine
+// versus rebuilt, and the edges owned by each group.
+type PatchStats struct {
+	PartsRebuilt, PartsReused int
+	EdgesRebuilt, EdgesReused int64
+}
+
+// Add accumulates other into s.
+func (s *PatchStats) Add(other PatchStats) {
+	s.PartsRebuilt += other.PartsRebuilt
+	s.PartsReused += other.PartsReused
+	s.EdgesRebuilt += other.EdgesRebuilt
+	s.EdgesReused += other.EdgesReused
 }
 
 // Config carries the knobs shared by the three engines.

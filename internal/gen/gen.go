@@ -301,6 +301,25 @@ func ErdosRenyi(n int, m int64, seed int64) (*graph.Graph, error) {
 	return graph.FromEdges(n, edges, false)
 }
 
+// ErdosRenyiWeighted is ErdosRenyi with uniform random weights in [1,10];
+// the narrow weight range makes parallel edges with distinct weights common,
+// exercising weight-aware deletion semantics.
+func ErdosRenyiWeighted(n int, m int64, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: n must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src:    graph.VertexID(rng.Intn(n)),
+			Dst:    graph.VertexID(rng.Intn(n)),
+			Weight: int32(rng.Intn(10) + 1),
+		}
+	}
+	return graph.FromEdges(n, edges, true)
+}
+
 // RoadNetwork generates a road-network-like graph: a width×height grid in
 // row-major vertex order where each cell connects to its 4 axial neighbours,
 // plus a sprinkling of short diagonal "shortcut" roads. Edges are symmetric

@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -13,7 +14,9 @@ import (
 // closures), with insertion endpoints drawn preferentially toward already
 // popular vertices so the degree distribution keeps its shape.
 type StreamConfig struct {
-	// Ops is the number of updates to generate.
+	// Ops is the number of logical operations to generate. Without Mirror
+	// one logical operation is one update; with Mirror a non-self-loop
+	// operation emits two paired updates.
 	Ops int
 	// DeleteFrac is the probability that an update deletes an existing live
 	// edge instead of inserting a new one (skipped when no live edge
@@ -24,9 +27,17 @@ type StreamConfig struct {
 	// destination from its destination — i.e. degree-proportional sampling)
 	// rather than drawn uniformly. In [0,1].
 	PreferentialFrac float64
-	// Weighted attaches uniform random weights in [1,100] to insertions.
+	// Weighted attaches uniform random weights in [1,100] to insertions and
+	// emits deletions carrying the weight of the edge they target, so a
+	// weight-aware consumer can cancel the exact parallel edge.
 	Weighted bool
-	Seed     int64
+	// Mirror emits undirected churn: every insertion or deletion of (u,v)
+	// with u ≠ v is immediately followed by the paired reverse update (v,u)
+	// with the same weight. Requires a symmetric input graph (every edge's
+	// reverse present with equal weight and multiplicity) so that mirrored
+	// deletions always target live edges.
+	Mirror bool
+	Seed   int64
 }
 
 // EdgeStream generates a deterministic, timestamped update stream against g.
@@ -47,6 +58,9 @@ func EdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
 	if n == 0 && cfg.Ops > 0 {
 		return nil, fmt.Errorf("gen: cannot stream over an empty graph")
 	}
+	if cfg.Mirror {
+		return mirroredEdgeStream(g, cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	// live mirrors the evolving edge multiset; index order is irrelevant
 	// (deletions swap-remove), only membership matters.
@@ -58,7 +72,11 @@ func EdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
 			e := live[i]
 			live[i] = live[len(live)-1]
 			live = live[:len(live)-1]
-			updates = append(updates, graph.EdgeUpdate{Time: int64(t), Src: e.Src, Dst: e.Dst, Del: true})
+			del := graph.EdgeUpdate{Time: int64(t), Src: e.Src, Dst: e.Dst, Del: true}
+			if cfg.Weighted {
+				del.Weight = e.Weight
+			}
+			updates = append(updates, del)
 			continue
 		}
 		var src, dst graph.VertexID
@@ -82,6 +100,119 @@ func EdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
 	return updates, nil
 }
 
+// mirroredEdgeStream is the Mirror variant of EdgeStream: the live multiset
+// is tracked in canonical orientation (Src ≤ Dst, one entry per undirected
+// edge) and every operation on (u,v) with u ≠ v emits the paired reverse
+// update, so the live edge set stays symmetric throughout the stream.
+func mirroredEdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
+	if err := checkSymmetric(g); err != nil {
+		return nil, fmt.Errorf("gen: Mirror requires a symmetric graph: %w", err)
+	}
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var live []graph.Edge
+	for _, e := range g.Edges() {
+		if e.Src <= e.Dst {
+			live = append(live, e)
+		}
+	}
+	updates := make([]graph.EdgeUpdate, 0, 2*cfg.Ops)
+	t := int64(0)
+	emit := func(u graph.EdgeUpdate) {
+		u.Time = t
+		t++
+		updates = append(updates, u)
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		if len(live) > 0 && rng.Float64() < cfg.DeleteFrac {
+			i := rng.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			var w int32
+			if cfg.Weighted {
+				w = e.Weight
+			}
+			emit(graph.EdgeUpdate{Src: e.Src, Dst: e.Dst, Weight: w, Del: true})
+			if e.Src != e.Dst {
+				emit(graph.EdgeUpdate{Src: e.Dst, Dst: e.Src, Weight: w, Del: true})
+			}
+			continue
+		}
+		var u, v graph.VertexID
+		if len(live) > 0 && rng.Float64() < cfg.PreferentialFrac {
+			// Degree-proportional endpoint sampling. Entries are stored in
+			// canonical orientation (Src ≤ Dst), so taking a fixed side
+			// would bias toward low (or high) vertex IDs; a coin flip per
+			// sampled edge restores the undirected degree distribution.
+			pick := func() graph.VertexID {
+				e := live[rng.Intn(len(live))]
+				if rng.Intn(2) == 0 {
+					return e.Src
+				}
+				return e.Dst
+			}
+			u, v = pick(), pick()
+		} else {
+			u = graph.VertexID(rng.Intn(n))
+			v = graph.VertexID(rng.Intn(n))
+		}
+		w := int32(1)
+		if cfg.Weighted {
+			w = int32(rng.Intn(100) + 1)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		live = append(live, graph.Edge{Src: u, Dst: v, Weight: w})
+		emit(graph.EdgeUpdate{Src: u, Dst: v, Weight: w})
+		if u != v {
+			emit(graph.EdgeUpdate{Src: v, Dst: u, Weight: w})
+		}
+	}
+	return updates, nil
+}
+
+// checkSymmetric verifies that every adjacency row's reverse content matches:
+// for each vertex, the multiset of (neighbor, weight) out-entries equals the
+// multiset of in-entries.
+func checkSymmetric(g *graph.Graph) error {
+	type entry struct {
+		id graph.VertexID
+		w  int32
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		out := g.OutNeighbors(graph.VertexID(v))
+		in := g.InNeighbors(graph.VertexID(v))
+		if len(out) != len(in) {
+			return fmt.Errorf("vertex %d has out-degree %d but in-degree %d", v, len(out), len(in))
+		}
+		ow, iw := g.OutWeights(graph.VertexID(v)), g.InWeights(graph.VertexID(v))
+		oe := make([]entry, len(out))
+		ie := make([]entry, len(in))
+		for i := range out {
+			oe[i] = entry{out[i], ow[i]}
+			ie[i] = entry{in[i], iw[i]}
+		}
+		less := func(s []entry) func(i, j int) bool {
+			return func(i, j int) bool {
+				if s[i].id != s[j].id {
+					return s[i].id < s[j].id
+				}
+				return s[i].w < s[j].w
+			}
+		}
+		sort.Slice(oe, less(oe))
+		sort.Slice(ie, less(ie))
+		for i := range oe {
+			if oe[i] != ie[i] {
+				return fmt.Errorf("vertex %d edge (%d,%d,w%d) lacks its reverse", v, v, oe[i].id, oe[i].w)
+			}
+		}
+	}
+	return nil
+}
+
 // streamShape maps a workload recipe to the churn profile its real-world
 // counterpart exhibits.
 var streamShape = map[string]struct {
@@ -98,15 +229,31 @@ var streamShape = map[string]struct {
 	"rmat":        {0.25, 0.6},
 }
 
+// RecipeStreamOptions tunes StreamFromRecipeOpts beyond the churn profile.
+type RecipeStreamOptions struct {
+	// Mirror emits paired (u,v)/(v,u) updates so the stream preserves the
+	// symmetry of an undirected recipe graph. Only valid for undirected
+	// recipes (orkut, usaroad, powerlaw).
+	Mirror bool
+}
+
 // StreamFromRecipe builds the named workload graph (as Recipe.Build does)
 // and derives a matching update stream: the churn profile (deletion rate,
 // attachment skew) follows the recipe's real-world counterpart, and the
 // stream is weighted exactly when the recipe graph is. Both the graph and
 // the stream are deterministic in (scale, seed).
 func StreamFromRecipe(name string, scale float64, ops int, seed int64) (*graph.Graph, []graph.EdgeUpdate, error) {
+	return StreamFromRecipeOpts(name, scale, ops, seed, RecipeStreamOptions{})
+}
+
+// StreamFromRecipeOpts is StreamFromRecipe with extra options.
+func StreamFromRecipeOpts(name string, scale float64, ops int, seed int64, opts RecipeStreamOptions) (*graph.Graph, []graph.EdgeUpdate, error) {
 	r, err := RecipeByName(name)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opts.Mirror && r.Directed {
+		return nil, nil, fmt.Errorf("gen: recipe %q is directed; Mirror applies to undirected recipes only", name)
 	}
 	g, err := r.Build(scale, seed)
 	if err != nil {
@@ -118,6 +265,7 @@ func StreamFromRecipe(name string, scale float64, ops int, seed int64) (*graph.G
 		DeleteFrac:       shape.deleteFrac,
 		PreferentialFrac: shape.preferentialFrac,
 		Weighted:         g.Weighted(),
+		Mirror:           opts.Mirror,
 		Seed:             seed + 1,
 	})
 	if err != nil {

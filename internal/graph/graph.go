@@ -224,8 +224,11 @@ func FromEdges(n int, edges []Edge, weighted bool) (*Graph, error) {
 	return g, nil
 }
 
-// sortAdjacency sorts each vertex's out- and in-neighbour list ascending,
-// keeping weights parallel.
+// sortAdjacency sorts each vertex's out- and in-neighbour list ascending by
+// (neighbor, weight), keeping weights parallel. Ordering parallel edges by
+// weight too makes row content a pure function of the edge multiset, so
+// graphs built by FromEdges and graphs patched row-wise by PatchEdges are
+// byte-identical for identical multisets.
 func (g *Graph) sortAdjacency() {
 	for v := 0; v < g.n; v++ {
 		sortAdjRange(g.outDst, g.outW, g.outOff[v], g.outOff[v+1])
@@ -246,8 +249,13 @@ type adjSegment struct {
 	ws  []int32
 }
 
-func (s adjSegment) Len() int           { return len(s.ids) }
-func (s adjSegment) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s adjSegment) Len() int { return len(s.ids) }
+func (s adjSegment) Less(i, j int) bool {
+	if s.ids[i] != s.ids[j] {
+		return s.ids[i] < s.ids[j]
+	}
+	return s.ws[i] < s.ws[j]
+}
 func (s adjSegment) Swap(i, j int) {
 	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
 	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]

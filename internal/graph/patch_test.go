@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// edgeMultiset canonicalizes a graph's edges for order-insensitive compare.
+func edgeMultiset(g *Graph) map[Edge]int {
+	m := make(map[Edge]int, g.NumEdges())
+	for _, e := range g.Edges() {
+		m[e]++
+	}
+	return m
+}
+
+func sameMultiset(t *testing.T, a, b map[Edge]int) {
+	t.Helper()
+	for e, c := range a {
+		if b[e] != c {
+			t.Fatalf("edge %+v: multiplicity %d vs %d", e, c, b[e])
+		}
+	}
+	for e, c := range b {
+		if a[e] != c {
+			t.Fatalf("edge %+v: multiplicity %d vs %d", e, a[e], c)
+		}
+	}
+}
+
+// TestPatchEdgesMatchesRebuild drives random add/delete patches against
+// random (weighted and unweighted) graphs and checks the patched graph is
+// multiset-identical to building from scratch, with consistent CSR/CSC
+// structure and honest work stats.
+func TestPatchEdgesMatchesRebuild(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(7))
+		const n = 60
+		edges := make([]Edge, 0, 400)
+		for i := 0; i < 400; i++ {
+			w := int32(1)
+			if weighted {
+				w = int32(rng.Intn(5) + 1)
+			}
+			edges = append(edges, Edge{
+				Src: VertexID(rng.Intn(n)), Dst: VertexID(rng.Intn(n)), Weight: w,
+			})
+		}
+		g, err := FromEdges(n, edges, weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			live := g.Edges()
+			var dels []Edge
+			for i := 0; i < 30 && len(live) > 0; i++ {
+				j := rng.Intn(len(live))
+				dels = append(dels, live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			var adds []Edge
+			for i := 0; i < 40; i++ {
+				w := int32(1)
+				if weighted {
+					w = int32(rng.Intn(5) + 1)
+				}
+				adds = append(adds, Edge{
+					Src: VertexID(rng.Intn(n)), Dst: VertexID(rng.Intn(n)), Weight: w,
+				})
+			}
+			patched, st, err := g.PatchEdges(adds, dels)
+			if err != nil {
+				t.Fatalf("weighted=%v trial %d: %v", weighted, trial, err)
+			}
+			want, err := FromEdges(n, append(append([]Edge(nil), live...), adds...), weighted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMultiset(t, edgeMultiset(patched), edgeMultiset(want))
+			if patched.NumEdges() != want.NumEdges() {
+				t.Fatalf("edge count %d, want %d", patched.NumEdges(), want.NumEdges())
+			}
+			// CSC must mirror CSR.
+			sameMultiset(t, edgeMultiset(patched.Transpose()), edgeMultiset(want.Transpose()))
+			if st.RowsMerged == 0 || st.EdgesMerged == 0 {
+				t.Fatalf("patch stats recorded no merge work: %+v", st)
+			}
+			if st.EdgesCopied+st.EdgesMerged < patched.NumEdges() {
+				t.Fatalf("stats cover %d edges of %d (one direction should dominate)",
+					st.EdgesCopied+st.EdgesMerged, patched.NumEdges())
+			}
+			g = patched // chain patches across trials
+		}
+	}
+}
+
+// TestPatchEdgesSortedRows checks merged rows stay sorted by neighbor so
+// binary-search consumers (HasEdge, the dynamic delta log) keep working.
+func TestPatchEdgesSortedRows(t *testing.T) {
+	g, err := FromEdges(5, []Edge{{0, 4, 1}, {0, 1, 1}, {2, 3, 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := g.PatchEdges([]Edge{{0, 3, 1}, {0, 0, 1}, {4, 2, 1}}, []Edge{{0, 4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < p.NumVertices(); v++ {
+		nbrs := p.OutNeighbors(VertexID(v))
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i-1] > nbrs[i] {
+				t.Fatalf("row %d not sorted: %v", v, nbrs)
+			}
+		}
+	}
+	if !p.HasEdge(0, 0) || !p.HasEdge(0, 3) || p.HasEdge(0, 4) {
+		t.Fatal("patched adjacency content wrong")
+	}
+}
+
+// TestPatchEdgesErrors checks range validation and deletion of missing
+// edges, including the weighted exact-match rule.
+func TestPatchEdgesErrors(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 5}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.PatchEdges([]Edge{{0, 9, 1}}, nil); err == nil {
+		t.Error("expected range error for add")
+	}
+	if _, _, err := g.PatchEdges(nil, []Edge{{9, 0, 1}}); err == nil {
+		t.Error("expected range error for delete")
+	}
+	if _, _, err := g.PatchEdges(nil, []Edge{{0, 2, 1}}); err == nil {
+		t.Error("expected missing-edge error")
+	}
+	// Weight must match exactly as stored.
+	if _, _, err := g.PatchEdges(nil, []Edge{{0, 1, 4}}); err == nil {
+		t.Error("expected weight-mismatch error")
+	}
+	if _, _, err := g.PatchEdges(nil, []Edge{{0, 1, 5}}); err != nil {
+		t.Errorf("exact-weight delete failed: %v", err)
+	}
+	// Unweighted graphs normalize all weights to 1.
+	ug, err := FromEdges(3, []Edge{{0, 1, 7}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ug.PatchEdges(nil, []Edge{{0, 1, 9}}); err != nil {
+		t.Errorf("unweighted delete should ignore weights: %v", err)
+	}
+}

@@ -83,6 +83,51 @@ func New(g *graph.Graph, cfg Config) (*GraphGrind, error) {
 	return &GraphGrind{g: g, cfg: cfg, parts: parts, ranges: ranges, coos: coos, partOf: partOf}, nil
 }
 
+// Patch builds a GraphGrind engine over g — a graph whose edge content
+// differs from gg's only inside partitions for which dirty reports true —
+// reusing gg's materialized per-partition COOs and metadata for every clean
+// partition. The caller guarantees that g has the same vertex count and that
+// gg's partition boundaries are still the ones to use (i.e. the vertex
+// placement did not change between the two graphs); only dirty partitions
+// have their COO re-materialized and their edge count re-scanned.
+func (gg *GraphGrind) Patch(g *graph.Graph, dirty func(lo, hi graph.VertexID) bool) (*GraphGrind, engine.PatchStats, error) {
+	var st engine.PatchStats
+	if g.NumVertices() != gg.g.NumVertices() {
+		return nil, st, fmt.Errorf("graphgrind: patch vertex count %d != %d", g.NumVertices(), gg.g.NumVertices())
+	}
+	parts := make([]partition.Partition, len(gg.parts))
+	coos := make([]*layout.COO, len(gg.coos))
+	for i, pt := range gg.parts {
+		if !dirty(pt.Lo, pt.Hi) {
+			parts[i] = pt
+			coos[i] = gg.coos[i]
+			st.PartsReused++
+			st.EdgesReused += pt.Edges
+			continue
+		}
+		np := partition.Partition{Lo: pt.Lo, Hi: pt.Hi}
+		for v := pt.Lo; v < pt.Hi; v++ {
+			np.Edges += g.InDegree(v)
+		}
+		c, err := layout.BuildRange(g, pt.Lo, pt.Hi, gg.cfg.Order)
+		if err != nil {
+			return nil, st, err
+		}
+		parts[i] = np
+		coos[i] = c
+		st.PartsRebuilt++
+		st.EdgesRebuilt += np.Edges
+	}
+	return &GraphGrind{
+		g:      g,
+		cfg:    gg.cfg,
+		parts:  parts,
+		ranges: gg.ranges,
+		coos:   coos,
+		partOf: gg.partOf,
+	}, st, nil
+}
+
 // Name implements Engine.
 func (gg *GraphGrind) Name() string { return "graphgrind" }
 

@@ -46,6 +46,17 @@ func New(g *graph.Graph, cfg Config) *Ligra {
 	}
 }
 
+// Rebind returns a Ligra engine over g reusing l's configuration and dense
+// scheduling units (which depend only on the vertex count). Ligra keeps no
+// partitioned per-edge structures, so "patching" it across epochs is just a
+// rebind of the graph pointer with fresh metrics.
+func (l *Ligra) Rebind(g *graph.Graph) *Ligra {
+	if g.NumVertices() != l.g.NumVertices() {
+		return New(g, l.cfg)
+	}
+	return &Ligra{g: g, cfg: l.cfg, units: l.units}
+}
+
 // Name implements Engine.
 func (l *Ligra) Name() string { return "ligra" }
 

@@ -63,6 +63,45 @@ func New(g *graph.Graph, cfg Config) (*Polymer, error) {
 	}, nil
 }
 
+// Patch builds a Polymer engine over g — a graph whose edge content differs
+// from p's only inside socket partitions for which dirty reports true —
+// reusing p's partition metadata and edge-balanced thread sub-ranges for
+// every clean partition. The caller guarantees that g has the same vertex
+// count and that p's partition boundaries still apply (the vertex placement
+// did not change); only dirty partitions are re-scanned and re-subdivided.
+func (p *Polymer) Patch(g *graph.Graph, dirty func(lo, hi graph.VertexID) bool) (*Polymer, engine.PatchStats, error) {
+	var st engine.PatchStats
+	if g.NumVertices() != p.g.NumVertices() {
+		return nil, st, fmt.Errorf("polymer: patch vertex count %d != %d", g.NumVertices(), p.g.NumVertices())
+	}
+	tps := p.cfg.Engine.Topology.ThreadsPerSocket
+	parts := make([]partition.Partition, len(p.parts))
+	units := make([]engine.Range, 0, len(p.units))
+	ui := 0
+	for i, pt := range p.parts {
+		lo := ui
+		for ui < len(p.units) && p.units[ui].Lo >= pt.Lo && p.units[ui].Lo < pt.Hi {
+			ui++
+		}
+		if !dirty(pt.Lo, pt.Hi) {
+			parts[i] = pt
+			units = append(units, p.units[lo:ui]...)
+			st.PartsReused++
+			st.EdgesReused += pt.Edges
+			continue
+		}
+		np := partition.Partition{Lo: pt.Lo, Hi: pt.Hi}
+		for v := pt.Lo; v < pt.Hi; v++ {
+			np.Edges += g.InDegree(v)
+		}
+		parts[i] = np
+		units = append(units, engine.SubdivideByEdges(g, []engine.Range{{Lo: pt.Lo, Hi: pt.Hi}}, tps)...)
+		st.PartsRebuilt++
+		st.EdgesRebuilt += np.Edges
+	}
+	return &Polymer{g: g, cfg: p.cfg, parts: parts, units: units}, st, nil
+}
+
 // Name implements Engine.
 func (p *Polymer) Name() string { return "polymer" }
 

@@ -15,13 +15,14 @@
 //	    vebo.EngineOptions{Bounds: res.Boundaries()})
 //	ranks := vebo.PageRank(eng, 10)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// See DESIGN.md for the system inventory and DESIGN.md §3 for the experiment
+// index regenerating the paper's tables and figures (cmd/bench).
 package vebo
 
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
@@ -234,34 +235,77 @@ type DynamicOptions struct {
 	Partitions int
 	// RebuildThreshold is the Δ(n) above which maintenance runs (default 2).
 	RebuildThreshold int64
+	// VertexRebuildThreshold is the δ(n) above which maintenance runs
+	// (default 4); see internal/dynamic.Config.
+	VertexRebuildThreshold int64
 	// CompactEvery bounds the delta log before compaction (default:
 	// adaptive, max(8192, liveEdges/8)).
 	CompactEvery int
+	// Engine configures the engines cached on published views: the virtual
+	// NUMA topology and GraphGrind's COO order. Partition counts and bounds
+	// come from the live ordering and are not configurable here.
+	Engine EngineOptions
+	// DisableViewReuse forces every view to rebuild its relabeled graph and
+	// engines from scratch instead of patching them from the previous
+	// epoch's. Exists for the engine-build amortization experiment
+	// (bench -exp view).
+	DisableViewReuse bool
 }
 
-// Dynamic is a mutable graph whose VEBO ordering is maintained
-// incrementally under streaming edge updates.
+// Dynamic is a mutable graph whose VEBO ordering is maintained incrementally
+// under streaming edge updates. Mutation is single-writer: one goroutine
+// calls ApplyBatch (and Compact). Any number of concurrent reader goroutines
+// query through View(), which pins an immutable epoch; the writer publishes
+// a fresh view after every batch with a lock-free pointer swap. The
+// remaining methods (Snapshot, Ordering, Imbalance, Stats) read live state
+// and belong to the writer side.
 type Dynamic struct {
-	inner *dynamic.Graph
+	inner   *dynamic.Graph
+	engOpts EngineOptions
+	reuse   bool
+	work    *viewWork
+	cur     atomic.Pointer[View]
+
+	// Writer-side basis tracking (see publish in view.go): the delta
+	// accumulated since the current anchor point, the lineage it belongs
+	// to, and the materialized view at that point, if any. latestMat is the
+	// reader-to-writer channel: the newest view whose relabeled graph was
+	// built.
+	anchorID    int64
+	sinceAnchor dynamic.ViewDelta
+	basisView   *View
+	latestMat   atomic.Pointer[View]
 }
 
-// NewDynamic wraps g for streaming updates, computing the initial ordering.
+// NewDynamic wraps g for streaming updates, computing the initial ordering
+// and publishing the epoch-0 view.
 func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
-	d, err := dynamic.New(g, dynamic.Config{
-		Partitions:       opts.Partitions,
-		RebuildThreshold: opts.RebuildThreshold,
-		CompactEvery:     opts.CompactEvery,
+	inner, err := dynamic.New(g, dynamic.Config{
+		Partitions:             opts.Partitions,
+		RebuildThreshold:       opts.RebuildThreshold,
+		VertexRebuildThreshold: opts.VertexRebuildThreshold,
+		CompactEvery:           opts.CompactEvery,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Dynamic{inner: d}, nil
+	d := &Dynamic{
+		inner:   inner,
+		engOpts: opts.Engine,
+		reuse:   !opts.DisableViewReuse,
+		work:    &viewWork{},
+	}
+	d.publish()
+	return d, nil
 }
 
-// ApplyBatch applies the updates in order and runs the threshold-gated
-// incremental ordering maintenance at the end of the batch.
+// ApplyBatch applies the updates in order, runs the threshold-gated
+// incremental ordering maintenance at the end of the batch, and publishes a
+// fresh View of the post-batch epoch. Single-writer.
 func (d *Dynamic) ApplyBatch(updates []EdgeUpdate) (DynamicBatchResult, error) {
-	return d.inner.ApplyBatch(updates)
+	res, err := d.inner.ApplyBatch(updates)
+	d.publish()
+	return res, err
 }
 
 // Snapshot materializes the live graph as an immutable CSR+CSC Graph any of
@@ -284,16 +328,23 @@ func (d *Dynamic) Stats() DynamicStats { return d.inner.Stats() }
 // Compact promotes the current snapshot to the new delta-log base.
 func (d *Dynamic) Compact() { d.inner.Compact() }
 
-// NewEngine builds the selected framework model over the current snapshot,
-// reordered with the live VEBO ordering and partitioned on its boundaries.
-// The engine keeps traversing its snapshot even while the dynamic graph
-// continues to mutate.
+// NewEngine builds the selected framework model over the current view's
+// snapshot, reordered with its VEBO ordering and partitioned on its
+// boundaries. The engine keeps traversing its epoch even while the dynamic
+// graph continues to mutate.
+//
+// Deprecated: use View().Engine (or the View algorithm methods), which
+// additionally caches engines per epoch and patches them incrementally
+// across epochs. NewEngine remains as a thin shim for callers that need
+// non-default per-call EngineOptions; it reuses the view's cached relabeled
+// graph but constructs a fresh engine every call.
 func (d *Dynamic) NewEngine(sys System, opts EngineOptions) (Engine, error) {
-	r := d.Ordering()
-	rg, err := r.Apply(d.Snapshot())
+	v := d.View()
+	rg, err := v.Reordered()
 	if err != nil {
 		return nil, err
 	}
+	r := v.Ordering()
 	if opts.Bounds == nil {
 		switch sys {
 		case Polymer:

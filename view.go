@@ -1,0 +1,624 @@
+package vebo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/graphgrind"
+	"repro/internal/layout"
+	"repro/internal/ligra"
+	"repro/internal/polymer"
+)
+
+// View is an immutable, epoch-pinned capture of a Dynamic graph: a consistent
+// snapshot, its VEBO ordering, and lazily built, cached engines for all three
+// framework models (plus their transposes, for BC). Views are published by
+// the ingest side with a lock-free pointer swap; any number of reader
+// goroutines may hold one View and run algorithms on it while ApplyBatch
+// keeps mutating the Dynamic underneath. All algorithm inputs and outputs use
+// original vertex IDs — the internal relabeling is invisible.
+//
+// Engine state is reused across epochs: when a new View's placement is
+// unchanged relative to the previous materialized View, its relabeled graph
+// is patched row-wise from the predecessor's, and per-partition engine
+// structures (GraphGrind COOs, Polymer scheduling units, partition metadata)
+// are rebuilt only for partitions whose edge content changed. ViewWork
+// reports the resulting rebuild-versus-patch work split.
+type View struct {
+	epoch      int64
+	placeEpoch int64
+	anchorID   int64 // delta lineage the view was published under
+	nverts     int
+	parts      int
+	ord        *core.Result // shared immutable Perm/PartitionOf, counts frozen at publish
+	frozen     dynamic.Frozen
+	opts       EngineOptions
+	delta      dynamic.ViewDelta    // changes since the basis (== the anchor point)
+	basis      atomic.Pointer[View] // materialized view at the anchor point; nil forces scratch builds
+	d          *Dynamic
+	work       *viewWork
+
+	snapOnce sync.Once
+	snap     *Graph
+
+	rgOnce sync.Once
+	rgp    atomic.Pointer[Graph]
+	rgErr  error
+
+	rgTOnce sync.Once
+	rgT     *Graph
+	rgTErr  error
+
+	invOnce sync.Once
+	inv     []VertexID // new ID -> original ID
+
+	dirtyOnce sync.Once
+	dirtyDsts []VertexID // sorted dirty destinations in relabeled space
+
+	eng  [3]engineSlot
+	engT [3]engineSlot
+}
+
+// engineSlot lazily holds one framework engine. The atomic value lets the
+// next epoch's view check "already built?" without forcing a build.
+type engineSlot struct {
+	once  sync.Once
+	val   atomic.Value // Engine
+	built Engine
+	err   error
+}
+
+func (s *engineSlot) peek() Engine {
+	if e, ok := s.val.Load().(Engine); ok {
+		return e
+	}
+	return nil
+}
+
+// viewWork accumulates engine-construction work counters across a Dynamic's
+// lifetime; readers add to it from whichever goroutine triggers a lazy build.
+type viewWork struct {
+	epochs        atomic.Int64
+	graphBuilds   atomic.Int64
+	graphPatches  atomic.Int64
+	engineBuilds  atomic.Int64
+	enginePatches atomic.Int64
+	rebuildEdges  atomic.Int64
+	patchedEdges  atomic.Int64
+	reusedEdges   atomic.Int64
+	partsRebuilt  atomic.Int64
+	partsReused   atomic.Int64
+}
+
+// ViewWork is a snapshot of the engine-construction work a Dynamic's views
+// have done. Edges are the unit: RebuildEdges counts edges processed by
+// from-scratch construction (snapshot materialization, relabeling, COO and
+// partition builds), PatchedEdges counts edges reprocessed by the patch
+// paths (merged adjacency rows, rebuilt dirty partitions), and ReusedEdges
+// counts edges carried over untouched (shared COO pointers, block-copied
+// rows) — work avoided relative to rebuilding.
+type ViewWork struct {
+	Epochs                      int64
+	GraphBuilds, GraphPatches   int64
+	EngineBuilds, EnginePatches int64
+	RebuildEdges                int64
+	PatchedEdges                int64
+	ReusedEdges                 int64
+	PartitionsRebuilt           int64
+	PartitionsReused            int64
+}
+
+func (w *viewWork) snapshot() ViewWork {
+	return ViewWork{
+		Epochs:            w.epochs.Load(),
+		GraphBuilds:       w.graphBuilds.Load(),
+		GraphPatches:      w.graphPatches.Load(),
+		EngineBuilds:      w.engineBuilds.Load(),
+		EnginePatches:     w.enginePatches.Load(),
+		RebuildEdges:      w.rebuildEdges.Load(),
+		PatchedEdges:      w.patchedEdges.Load(),
+		ReusedEdges:       w.reusedEdges.Load(),
+		PartitionsRebuilt: w.partsRebuilt.Load(),
+		PartitionsReused:  w.partsReused.Load(),
+	}
+}
+
+// View returns the most recently published epoch-pinned view. The call is a
+// single atomic load and never blocks the ingest side; it is safe from any
+// goroutine. Successive calls may return different views as batches land;
+// one View is forever consistent.
+func (d *Dynamic) View() *View {
+	return d.cur.Load()
+}
+
+// ViewWork returns the accumulated engine-construction work counters.
+func (d *Dynamic) ViewWork() ViewWork { return d.work.snapshot() }
+
+// publish captures the post-batch state as a fresh View and swaps it in.
+// Called only from the ingest (writer) side.
+//
+// Basis tracking: the writer accumulates the delta since an anchor point —
+// the publish instant of basisView, the newest view known to have
+// materialized its relabeled graph. Readers register views they materialize
+// in latestMat; at each publish the writer re-anchors onto the newest one by
+// subtracting that view's own anchor-relative delta (exact for the edge
+// multiset, superset for dirty partitions). This keeps patching available no
+// matter how many epochs pass between queries, while a reader that never
+// comes back costs only the bounded sinceAnchor map — which resets, dropping
+// the basis, if it ever outgrows the delta-log compaction bound.
+func (d *Dynamic) publish() {
+	drained := d.inner.DrainViewDelta()
+	var basis *View
+	if d.reuse {
+		d.sinceAnchor = d.sinceAnchor.Merge(drained)
+		if m := d.latestMat.Load(); m != nil && m.anchorID == d.anchorID &&
+			(d.basisView == nil || m.epoch > d.basisView.epoch) {
+			d.sinceAnchor = d.sinceAnchor.Subtract(m.delta)
+			d.sinceAnchor.PlacementChanged = d.inner.PlaceEpoch() != m.placeEpoch
+			d.anchorID++
+			d.basisView = m
+			// m patches from its own basis only while building artifacts it
+			// hasn't built yet; dropping the link bounds the retained chain.
+			m.basis.Store(nil)
+		}
+		if int64(len(d.sinceAnchor.Net)) > d.inner.NumEdges()/4+8192 {
+			// No reader has materialized a view for a long stretch; give up
+			// on the stale basis rather than hold an ever-growing delta.
+			d.anchorID++
+			d.basisView = nil
+			d.sinceAnchor = dynamic.ViewDelta{}
+		}
+		if d.basisView != nil && d.basisView.rgp.Load() != nil {
+			basis = d.basisView
+		}
+	}
+	v := &View{
+		epoch:      d.inner.Epoch(),
+		placeEpoch: d.inner.PlaceEpoch(),
+		anchorID:   d.anchorID,
+		nverts:     d.inner.NumVertices(),
+		parts:      d.inner.Partitions(),
+		ord:        d.inner.Ordering(),
+		frozen:     d.inner.Freeze(),
+		opts:       d.engOpts,
+		delta:      d.sinceAnchor,
+		d:          d,
+		work:       d.work,
+	}
+	v.basis.Store(basis)
+	d.work.epochs.Add(1)
+	d.cur.Store(v)
+}
+
+// registerMaterialized records that v built its relabeled graph, making it a
+// basis candidate for future epochs. Keeps the newest such view.
+func (d *Dynamic) registerMaterialized(v *View) {
+	for {
+		m := d.latestMat.Load()
+		if m != nil && m.epoch >= v.epoch {
+			return
+		}
+		if d.latestMat.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Epoch identifies the mutation epoch the view is pinned to; it increases
+// monotonically across published views.
+func (v *View) Epoch() int64 { return v.epoch }
+
+// NumVertices reports the vertex count.
+func (v *View) NumVertices() int { return v.nverts }
+
+// NumEdges reports the live edge count at the view's epoch.
+func (v *View) NumEdges() int64 { return v.frozen.NumEdges() }
+
+// Ordering returns the view's VEBO ordering.
+func (v *View) Ordering() *Result { return &Result{inner: v.ord} }
+
+// Snapshot materializes (once, lazily) the view's graph in original vertex
+// IDs. The result is immutable and safe to share.
+func (v *View) Snapshot() *Graph {
+	v.snapOnce.Do(func() {
+		v.snap = v.frozen.Materialize()
+		v.work.rebuildEdges.Add(v.frozen.NumEdges())
+		v.work.graphBuilds.Add(1)
+	})
+	return v.snap
+}
+
+// Reordered returns (building once, lazily) the view's graph relabeled with
+// its VEBO ordering — the graph the cached engines traverse. When the
+// previous materialized view shares the same placement, the graph is patched
+// row-wise from it instead of being rebuilt from a fresh snapshot.
+func (v *View) Reordered() (*Graph, error) {
+	v.rgOnce.Do(func() {
+		if b := v.basis.Load(); b != nil && !v.delta.PlacementChanged {
+			if brg := b.rgp.Load(); brg != nil {
+				adds, dels := v.delta.AddsDels()
+				perm := v.ord.Perm
+				mapEndpoints(adds, perm)
+				mapEndpoints(dels, perm)
+				rg, st, err := brg.PatchEdges(adds, dels)
+				if err == nil {
+					v.work.graphPatches.Add(1)
+					v.work.patchedEdges.Add(st.EdgesMerged)
+					v.work.reusedEdges.Add(st.EdgesCopied)
+					v.rgp.Store(rg)
+					return
+				}
+				// Unreachable for deltas recorded by the dynamic subsystem;
+				// fall back to a scratch build if it ever happens.
+			}
+		}
+		rg, err := core.Apply(v.Snapshot(), v.ord)
+		if err != nil {
+			v.rgErr = err
+			return
+		}
+		v.work.graphBuilds.Add(1)
+		v.work.rebuildEdges.Add(rg.NumEdges())
+		v.rgp.Store(rg)
+	})
+	if rg := v.rgp.Load(); rg != nil {
+		v.d.registerMaterialized(v)
+		return rg, nil
+	}
+	return nil, v.rgErr
+}
+
+// mapEndpoints rewrites edge endpoints through a permutation in place.
+func mapEndpoints(edges []graph.Edge, perm []VertexID) {
+	for i := range edges {
+		edges[i].Src = perm[edges[i].Src]
+		edges[i].Dst = perm[edges[i].Dst]
+	}
+}
+
+// transposed returns (building once, lazily) the transpose of the reordered
+// graph, which BC's backward sweep traverses. Transposition shares the CSR
+// and CSC arrays, so this costs O(1) on top of Reordered.
+func (v *View) transposed() (*Graph, error) {
+	v.rgTOnce.Do(func() {
+		rg, err := v.Reordered()
+		if err != nil {
+			v.rgTErr = err
+			return
+		}
+		v.rgT = rg.Transpose()
+	})
+	return v.rgT, v.rgTErr
+}
+
+// dirtyPredicate reports whether a destination-vertex range owns any edge
+// that changed since the basis view. Destination-partitioned engine
+// structures (COOs, partition metadata, scheduling units) depend only on
+// the in-edges of their range, so the exact dirty set is the net delta's
+// destination endpoints mapped into the view's relabeled space.
+func (v *View) dirtyPredicate() func(lo, hi VertexID) bool {
+	v.dirtyOnce.Do(func() {
+		perm := v.ord.Perm
+		seen := make(map[VertexID]struct{}, len(v.delta.Net))
+		dirty := make([]VertexID, 0, len(v.delta.Net))
+		for e := range v.delta.Net {
+			nd := perm[e.Dst]
+			if _, ok := seen[nd]; !ok {
+				seen[nd] = struct{}{}
+				dirty = append(dirty, nd)
+			}
+		}
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		v.dirtyDsts = dirty
+	})
+	dirty := v.dirtyDsts
+	return func(lo, hi VertexID) bool {
+		i := sort.Search(len(dirty), func(i int) bool { return dirty[i] >= lo })
+		return i < len(dirty) && dirty[i] < hi
+	}
+}
+
+// Engine returns (building once, lazily) the cached engine for the selected
+// framework model. The engine traverses the reordered graph, partitioned on
+// the view's VEBO boundaries (coarsened per socket for Polymer). When the
+// basis view already built the same engine and the placement is unchanged,
+// the engine is patched: structures of clean partitions are shared, dirty
+// ones rebuilt.
+func (v *View) Engine(sys System) (Engine, error) {
+	if sys < Ligra || sys > GraphGrind {
+		return nil, fmt.Errorf("vebo: unknown system %v", sys)
+	}
+	s := &v.eng[sys]
+	s.once.Do(func() {
+		s.built, s.err = v.buildEngine(sys)
+		if s.err == nil {
+			s.val.Store(s.built)
+		}
+	})
+	return s.built, s.err
+}
+
+// TransposeEngine returns (building once, lazily) the cached engine over the
+// transpose of the reordered graph, partitioned by the paper's Algorithm 1
+// (VEBO boundaries balance in-edges, which are out-edges in the transpose).
+func (v *View) TransposeEngine(sys System) (Engine, error) {
+	if sys < Ligra || sys > GraphGrind {
+		return nil, fmt.Errorf("vebo: unknown system %v", sys)
+	}
+	s := &v.engT[sys]
+	s.once.Do(func() {
+		s.built, s.err = v.buildTransposeEngine(sys)
+		if s.err == nil {
+			s.val.Store(s.built)
+		}
+	})
+	return s.built, s.err
+}
+
+func (v *View) buildEngine(sys System) (Engine, error) {
+	rg, err := v.Reordered()
+	if err != nil {
+		return nil, err
+	}
+	if b := v.basis.Load(); b != nil && !v.delta.PlacementChanged {
+		if be := b.eng[sys].peek(); be != nil {
+			if e, ok := v.patchEngine(sys, be, rg); ok {
+				return e, nil
+			}
+		}
+	}
+	ecfg := engine.Config{Topology: v.opts.topology()}
+	switch sys {
+	case Ligra:
+		v.work.engineBuilds.Add(1)
+		return ligra.New(rg, ligra.Config{Engine: ecfg}), nil
+	case Polymer:
+		v.work.engineBuilds.Add(1)
+		v.work.rebuildEdges.Add(rg.NumEdges())
+		bounds := core.CoarsenBounds(v.ord.Boundaries(), v.opts.topology().Sockets)
+		return polymer.New(rg, polymer.Config{Engine: ecfg, Bounds: bounds})
+	default:
+		v.work.engineBuilds.Add(1)
+		v.work.rebuildEdges.Add(rg.NumEdges())
+		return graphgrind.New(rg, graphgrind.Config{
+			Engine:     ecfg,
+			Partitions: v.parts,
+			Order:      v.cooOrder(),
+			Bounds:     v.ord.Boundaries(),
+		})
+	}
+}
+
+// patchEngine derives this view's engine from the basis view's by rebuilding
+// only dirty partitions. Reports ok=false to fall back to a scratch build.
+func (v *View) patchEngine(sys System, base Engine, rg *Graph) (Engine, bool) {
+	dirty := v.dirtyPredicate()
+	switch sys {
+	case Ligra:
+		le, ok := base.(*ligra.Ligra)
+		if !ok {
+			return nil, false
+		}
+		// Ligra has no partitioned state: reuse the relabeled graph and the
+		// vertex-count-derived scheduling units as-is.
+		v.work.enginePatches.Add(1)
+		v.work.reusedEdges.Add(rg.NumEdges())
+		return le.Rebind(rg), true
+	case Polymer:
+		pe, ok := base.(*polymer.Polymer)
+		if !ok {
+			return nil, false
+		}
+		e, st, err := pe.Patch(rg, dirty)
+		if err != nil {
+			return nil, false
+		}
+		v.recordPatch(st)
+		return e, true
+	default:
+		ge, ok := base.(*graphgrind.GraphGrind)
+		if !ok {
+			return nil, false
+		}
+		e, st, err := ge.Patch(rg, dirty)
+		if err != nil {
+			return nil, false
+		}
+		v.recordPatch(st)
+		return e, true
+	}
+}
+
+func (v *View) recordPatch(st engine.PatchStats) {
+	v.work.enginePatches.Add(1)
+	v.work.patchedEdges.Add(st.EdgesRebuilt)
+	v.work.reusedEdges.Add(st.EdgesReused)
+	v.work.partsRebuilt.Add(int64(st.PartsRebuilt))
+	v.work.partsReused.Add(int64(st.PartsReused))
+}
+
+func (v *View) buildTransposeEngine(sys System) (Engine, error) {
+	rgT, err := v.transposed()
+	if err != nil {
+		return nil, err
+	}
+	ecfg := engine.Config{Topology: v.opts.topology()}
+	v.work.engineBuilds.Add(1)
+	switch sys {
+	case Ligra:
+		return ligra.New(rgT, ligra.Config{Engine: ecfg}), nil
+	case Polymer:
+		v.work.rebuildEdges.Add(rgT.NumEdges())
+		return polymer.New(rgT, polymer.Config{Engine: ecfg})
+	default:
+		v.work.rebuildEdges.Add(rgT.NumEdges())
+		return graphgrind.New(rgT, graphgrind.Config{
+			Engine:     ecfg,
+			Partitions: v.parts,
+			Order:      v.cooOrder(),
+		})
+	}
+}
+
+func (v *View) cooOrder() layout.Order {
+	if v.opts.HilbertCOO {
+		return layout.HilbertOrder
+	}
+	return layout.CSROrder
+}
+
+// invPerm returns the new-ID → original-ID permutation, computed once.
+func (v *View) invPerm() []VertexID {
+	v.invOnce.Do(func() {
+		v.inv = make([]VertexID, len(v.ord.Perm))
+		for old, nw := range v.ord.Perm {
+			v.inv[nw] = VertexID(old)
+		}
+	})
+	return v.inv
+}
+
+func (v *View) checkRoot(root VertexID) error {
+	if int(root) >= v.nverts {
+		return fmt.Errorf("vebo: root %d out of range n=%d", root, v.nverts)
+	}
+	return nil
+}
+
+// unpermute reindexes an engine-space value array back to original IDs.
+func unpermute[T any](perm []VertexID, res []T) []T {
+	out := make([]T, len(res))
+	for old, nw := range perm {
+		out[old] = res[nw]
+	}
+	return out
+}
+
+// permuteIn reindexes an original-ID value array into engine space.
+func permuteIn[T any](perm []VertexID, xs []T) []T {
+	out := make([]T, len(xs))
+	for old, nw := range perm {
+		out[nw] = xs[old]
+	}
+	return out
+}
+
+// PageRank runs power-method PageRank for iters iterations on the selected
+// framework model; ranks are indexed by original vertex ID.
+func (v *View) PageRank(sys System, iters int) ([]float64, error) {
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	return unpermute(v.ord.Perm, algorithms.PageRank(e, iters)), nil
+}
+
+// PageRankDelta runs delta-update PageRank; ranks are indexed by original
+// vertex ID.
+func (v *View) PageRankDelta(sys System, iters int, eps float64) ([]float64, error) {
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	return unpermute(v.ord.Perm, algorithms.PageRankDelta(e, iters, eps)), nil
+}
+
+// BFS returns the breadth-first parent array from root; both the indices and
+// the stored parents are original vertex IDs (-1 marks unreached vertices).
+func (v *View) BFS(sys System, root VertexID) ([]int32, error) {
+	if err := v.checkRoot(root); err != nil {
+		return nil, err
+	}
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	parents := unpermute(v.ord.Perm, algorithms.BFS(e, v.ord.Perm[root]))
+	inv := v.invPerm()
+	for i, p := range parents {
+		if p >= 0 {
+			parents[i] = int32(inv[p])
+		}
+	}
+	return parents, nil
+}
+
+// CC returns connected-component labels indexed by original vertex ID. Two
+// vertices share a component iff their labels are equal; label values are
+// otherwise opaque.
+func (v *View) CC(sys System) ([]uint32, error) {
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	labels := unpermute(v.ord.Perm, algorithms.CC(e))
+	inv := v.invPerm()
+	for i, l := range labels {
+		labels[i] = inv[l]
+	}
+	return labels, nil
+}
+
+// SPMV multiplies the adjacency matrix with x; both x and the result are
+// indexed by original vertex ID.
+func (v *View) SPMV(sys System, x []float64) ([]float64, error) {
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) != v.nverts {
+		return nil, fmt.Errorf("vebo: SPMV input length %d != n %d", len(x), v.nverts)
+	}
+	return unpermute(v.ord.Perm, algorithms.SPMV(e, permuteIn(v.ord.Perm, x))), nil
+}
+
+// BellmanFord returns single-source shortest-path distances from root,
+// indexed by original vertex ID.
+func (v *View) BellmanFord(sys System, root VertexID) ([]int64, error) {
+	if err := v.checkRoot(root); err != nil {
+		return nil, err
+	}
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	return unpermute(v.ord.Perm, algorithms.BellmanFord(e, v.ord.Perm[root])), nil
+}
+
+// BC returns single-source betweenness-centrality scores from root, indexed
+// by original vertex ID. The transpose engine for the backward sweep is
+// built and cached internally.
+func (v *View) BC(sys System, root VertexID) ([]float64, error) {
+	if err := v.checkRoot(root); err != nil {
+		return nil, err
+	}
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	eT, err := v.TransposeEngine(sys)
+	if err != nil {
+		return nil, err
+	}
+	return unpermute(v.ord.Perm, algorithms.BC(e, eT, v.ord.Perm[root])), nil
+}
+
+// BP runs the belief-propagation workload for iters iterations; prior and
+// the result are indexed by original vertex ID.
+func (v *View) BP(sys System, iters int, prior []float64) ([]float64, error) {
+	e, err := v.Engine(sys)
+	if err != nil {
+		return nil, err
+	}
+	if len(prior) != v.nverts {
+		return nil, fmt.Errorf("vebo: BP prior length %d != n %d", len(prior), v.nverts)
+	}
+	return unpermute(v.ord.Perm, algorithms.BP(e, iters, permuteIn(v.ord.Perm, prior))), nil
+}

@@ -1,0 +1,332 @@
+package vebo
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// viewTestOpts keeps view-engine topologies small so tests stay fast.
+var viewTestOpts = EngineOptions{Sockets: 2, ThreadsPerSocket: 2}
+
+// applyInBatches replays updates through the facade in fixed-size batches.
+func applyInBatches(t *testing.T, d *Dynamic, updates []EdgeUpdate, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatalf("ApplyBatch(%d:%d): %v", lo, hi, err)
+		}
+	}
+}
+
+// TestViewAlgorithmsMatchStatic checks that algorithms run through the View
+// API (engines over the relabeled graph, results mapped back to original
+// vertex IDs) agree with the same algorithms run on a static engine built
+// directly over the view's snapshot in original ID order.
+func TestViewAlgorithmsMatchStatic(t *testing.T) {
+	g, updates, err := GenerateStream("powerlaw", 0.05, 6000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 32, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyInBatches(t, d, updates, 512)
+
+	v := d.View()
+	snap := v.Snapshot()
+	ref, err := NewEngine(Ligra, snap, viewTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRanks := PageRank(ref, 5)
+	refDist := BellmanFord(ref, 0)
+	refParents := BFS(ref, 0)
+	// CC's directed label-propagation fixpoint is unique per graph but not
+	// isomorphism-invariant as a partition, so compare across the view's
+	// three engines (same graph) rather than against the reference ordering.
+	ccFirst, err := v.CC(Ligra)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+		ranks, err := v.PageRank(sys, 5)
+		if err != nil {
+			t.Fatalf("%v: PageRank: %v", sys, err)
+		}
+		for i := range ranks {
+			if math.Abs(ranks[i]-refRanks[i]) > 1e-9*(1+math.Abs(refRanks[i])) {
+				t.Fatalf("%v: PageRank diverges at %d: %v vs %v", sys, i, ranks[i], refRanks[i])
+			}
+		}
+		dist, err := v.BellmanFord(sys, 0)
+		if err != nil {
+			t.Fatalf("%v: BellmanFord: %v", sys, err)
+		}
+		for i := range dist {
+			if dist[i] != refDist[i] {
+				t.Fatalf("%v: BellmanFord diverges at %d: %d vs %d", sys, i, dist[i], refDist[i])
+			}
+		}
+		// All three engines traverse the same relabeled graph, so the CC
+		// fixpoint (mapped back to original IDs) must agree exactly.
+		labels, err := v.CC(sys)
+		if err != nil {
+			t.Fatalf("%v: CC: %v", sys, err)
+		}
+		for i := range labels {
+			if labels[i] != ccFirst[i] {
+				t.Fatalf("%v: CC diverges from ligra at vertex %d: %d vs %d", sys, i, labels[i], ccFirst[i])
+			}
+		}
+		// BFS parents need not be unique; check the reached set matches and
+		// every parent edge exists in the snapshot.
+		parents, err := v.BFS(sys, 0)
+		if err != nil {
+			t.Fatalf("%v: BFS: %v", sys, err)
+		}
+		for i := range parents {
+			if (parents[i] < 0) != (refParents[i] < 0) {
+				t.Fatalf("%v: BFS reachability differs at vertex %d: %d vs %d", sys, i, parents[i], refParents[i])
+			}
+			if parents[i] >= 0 && i != 0 && !snap.HasEdge(VertexID(parents[i]), VertexID(i)) {
+				t.Fatalf("%v: BFS parent %d of %d is not an in-neighbor", sys, parents[i], i)
+			}
+		}
+		if parents[0] != 0 {
+			t.Fatalf("%v: root parent = %d, want 0", sys, parents[0])
+		}
+		// BC exercises the internally cached transpose engine.
+		bc, err := v.BC(sys, 0)
+		if err != nil {
+			t.Fatalf("%v: BC: %v", sys, err)
+		}
+		if len(bc) != snap.NumVertices() {
+			t.Fatalf("%v: BC returned %d scores for %d vertices", sys, len(bc), snap.NumVertices())
+		}
+	}
+}
+
+// TestViewPatchedMatchesScratch runs the same stream through a reusing
+// Dynamic and a reuse-disabled one, querying every epoch, and requires
+// identical results — the patched relabeled graph and patched engines must
+// be indistinguishable from scratch-built ones. Thresholds are raised so the
+// placement stays fixed and the patch path actually runs.
+func TestViewPatchedMatchesScratch(t *testing.T) {
+	// powerlaw is unweighted; orkut is weighted with parallel edges, so its
+	// SPMV results are only reproducible if patched rows are byte-identical
+	// to scratch-built ones (weight-aware row ordering).
+	for _, recipe := range []string{"powerlaw", "orkut"} {
+		t.Run(recipe, func(t *testing.T) { testPatchedMatchesScratch(t, recipe) })
+	}
+}
+
+func testPatchedMatchesScratch(t *testing.T, recipe string) {
+	g, updates, err := GenerateStream(recipe, 0.04, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High thresholds keep the placement fixed so the patch path runs, and
+	// batches much smaller than the partition count leave most partitions
+	// untouched per epoch — the regime engine reuse targets.
+	stable := DynamicOptions{
+		Partitions:             64,
+		RebuildThreshold:       1 << 40,
+		VertexRebuildThreshold: 1 << 40,
+		Engine:                 viewTestOpts,
+	}
+	scratchOpts := stable
+	scratchOpts.DisableViewReuse = true
+
+	dp, err := NewDynamic(g, stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDynamic(g, scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.NumVertices())
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	const batch = 64
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := dp.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		vp, vs := dp.View(), ds.View()
+		for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+			rp, err := vp.PageRank(sys, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := vs.PageRank(sys, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range rp {
+				if rp[i] != rs[i] {
+					t.Fatalf("epoch %d %v: patched PageRank diverges at %d: %v vs %v",
+						vp.Epoch(), sys, i, rp[i], rs[i])
+				}
+			}
+		}
+		// SPMV is weight-sensitive: float accumulation follows row order, so
+		// exact equality here proves patched rows match scratch-built rows
+		// byte for byte.
+		yp, err := vp.SPMV(GraphGrind, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys, err := vs.SPMV(GraphGrind, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range yp {
+			if yp[i] != ys[i] {
+				t.Fatalf("epoch %d: patched SPMV diverges at %d: %v vs %v", vp.Epoch(), i, yp[i], ys[i])
+			}
+		}
+	}
+
+	work := dp.ViewWork()
+	if work.GraphPatches == 0 || work.EnginePatches == 0 {
+		t.Fatalf("reuse run never patched: %+v", work)
+	}
+	if work.PartitionsReused == 0 || work.ReusedEdges == 0 {
+		t.Fatalf("reuse run reused nothing: %+v", work)
+	}
+	sw := ds.ViewWork()
+	if sw.GraphPatches != 0 || sw.EnginePatches != 0 {
+		t.Fatalf("DisableViewReuse run patched anyway: %+v", sw)
+	}
+	// The point of the exercise: patching does measurably less construction
+	// work than rebuilding every epoch.
+	if work.RebuildEdges+work.PatchedEdges >= sw.RebuildEdges {
+		t.Fatalf("patching saved no work: patched run %d+%d edges, scratch run %d",
+			work.RebuildEdges, work.PatchedEdges, sw.RebuildEdges)
+	}
+}
+
+// TestViewAcrossEpochsStaysPinned checks that a retained view keeps
+// answering for its epoch while the graph moves on.
+func TestViewAcrossEpochsStaysPinned(t *testing.T) {
+	g, updates, err := GenerateStream("powerlaw", 0.04, 3000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := d.View()
+	oldEdges := old.NumEdges()
+	oldRanks, err := old.PageRank(GraphGrind, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyInBatches(t, d, updates, 500)
+	if d.View() == old {
+		t.Fatal("publishing batches did not move the current view")
+	}
+	if old.NumEdges() != oldEdges {
+		t.Fatalf("retained view edge count moved: %d -> %d", oldEdges, old.NumEdges())
+	}
+	again, err := old.PageRank(GraphGrind, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != oldRanks[i] {
+			t.Fatalf("retained view result changed at %d", i)
+		}
+	}
+	if d.View().Epoch() <= old.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", old.Epoch(), d.View().Epoch())
+	}
+}
+
+// TestViewConcurrentIngestQuery is the concurrency stress test: one ingest
+// goroutine streams batches while N reader goroutines continuously pin views
+// and run algorithms on all three models (including BC's lazily built
+// transpose engines). Run with -race; correctness here is absence of races
+// plus per-view internal consistency.
+func TestViewConcurrentIngestQuery(t *testing.T) {
+	const readers = 4
+	g, updates, err := GenerateStream("powerlaw", 0.03, 6000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sys := System(r % 3)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := d.View()
+				switch i % 3 {
+				case 0:
+					ranks, err := v.PageRank(sys, 2)
+					if err != nil || len(ranks) != n {
+						t.Errorf("reader %d: PageRank: len %d err %v", r, len(ranks), err)
+						return
+					}
+				case 1:
+					parents, err := v.BFS(sys, VertexID(i%n))
+					if err != nil || len(parents) != n {
+						t.Errorf("reader %d: BFS: len %d err %v", r, len(parents), err)
+						return
+					}
+				case 2:
+					bc, err := v.BC(sys, VertexID(i%n))
+					if err != nil || len(bc) != n {
+						t.Errorf("reader %d: BC: len %d err %v", r, len(bc), err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	const batch = 300
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Errorf("ApplyBatch: %v", err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	if w := d.ViewWork(); w.Epochs < 2 {
+		t.Fatalf("expected multiple published epochs, got %d", w.Epochs)
+	}
+}
