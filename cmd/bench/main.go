@@ -25,14 +25,27 @@ func main() {
 	partitions := flag.Int("partitions", 384, "GraphGrind partition count")
 	sockets := flag.Int("sockets", 4, "modeled NUMA sockets")
 	threads := flag.Int("threads", 12, "modeled threads per socket")
+	quick := flag.Bool("quick", false, "CI smoke mode: small graphs, 2–3 streaming batches, and fail if the view experiment's maintained-row work ratio drops to ≤ 1×")
 	flag.Parse()
 
+	if *quick {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			*scale = 0.05
+		}
+	}
 	cfg := bench.Config{
 		Scale:      *scale,
 		Seed:       *seed,
 		Partitions: *partitions,
 		Topology:   numa.Topology{Sockets: *sockets, ThreadsPerSocket: *threads},
 		Out:        os.Stdout,
+		Quick:      *quick,
 	}
 	if err := bench.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

@@ -128,8 +128,9 @@ func runServe(args []string) error {
 	queriers := fs.Int("queriers", 4, "concurrent query goroutines")
 	alg := fs.String("alg", "pagerank", "query workload: pagerank, bfs, cc or bc")
 	system := fs.String("system", "graphgrind", "framework model serving queries: ligra, polymer or graphgrind")
-	threshold := fs.Int64("threshold", 0, "Δ(n) maintenance threshold (0: default)")
+	threshold := fs.Int64("threshold", 0, "Δ(n) maintenance threshold (0: default, scaled adaptively with the degree spread)")
 	vthreshold := fs.Int64("vthreshold", 0, "δ(n) maintenance threshold (0: default)")
+	repairMode := fs.String("repair", "preserve", "maintenance strategy: preserve (segment-local swaps, engines stay patchable) or replace (legacy greedy re-placement)")
 	noreuse := fs.Bool("noreuse", false, "rebuild engines from scratch every epoch instead of patching")
 	pace := fs.Duration("pace", 0, "delay between ingestion batches (0: ingest at full speed)")
 	seed := fs.Int64("seed", 42, "generator seed")
@@ -158,6 +159,15 @@ func runServe(args []string) error {
 	default:
 		return fmt.Errorf("serve: unknown query workload %q", *alg)
 	}
+	var repair vebo.RepairMode
+	switch *repairMode {
+	case "preserve":
+		repair = vebo.RepairPreserve
+	case "replace":
+		repair = vebo.RepairReplace
+	default:
+		return fmt.Errorf("serve: unknown repair mode %q (preserve or replace)", *repairMode)
+	}
 
 	g, updates, err := gen.StreamFromRecipe(*recipe, *scale, *ops, *seed)
 	if err != nil {
@@ -170,6 +180,7 @@ func runServe(args []string) error {
 		Partitions:             *parts,
 		RebuildThreshold:       *threshold,
 		VertexRebuildThreshold: *vthreshold,
+		Repair:                 repair,
 		DisableViewReuse:       *noreuse,
 	})
 	if err != nil {
@@ -255,10 +266,14 @@ func runServe(args []string) error {
 	}
 	fmt.Println()
 	work := d.ViewWork()
-	fmt.Printf("views: %d epochs published; engine builds %d full / %d patched (%d partitions reused, %d rebuilt)\n",
-		work.Epochs, work.EngineBuilds, work.EnginePatches, work.PartitionsReused, work.PartitionsRebuilt)
-	fmt.Printf("construction edges: %d rebuilt, %d patched, %d reused\n",
-		work.RebuildEdges, work.PatchedEdges, work.ReusedEdges)
+	fmt.Printf("views: %d epochs published; engine builds %d full / %d patched (%d partitions reused, %d relabeled, %d rebuilt)\n",
+		work.Epochs, work.EngineBuilds, work.EnginePatches,
+		work.PartitionsReused, work.PartitionsRelabeled, work.PartitionsRebuilt)
+	fmt.Printf("construction edges: %d rebuilt, %d patched, %d relabeled, %d reused\n",
+		work.RebuildEdges, work.PatchedEdges, work.RelabeledEdges, work.ReusedEdges)
+	st := d.Stats()
+	fmt.Printf("maintenance: %d repairs (%d swaps), %d full rebuilds\n",
+		st.Repairs, st.Swaps, st.FullRebuilds)
 	edge, vert := d.Imbalance()
 	fmt.Printf("final Δ(n)=%d δ(n)=%d over %d partitions\n", edge, vert, *parts)
 	return nil

@@ -71,7 +71,9 @@ func TestDynamicEnginesMatchFreshGraph(t *testing.T) {
 
 	opts := EngineOptions{Sockets: 2, ThreadsPerSocket: 2, Partitions: 32}
 	for _, sys := range []System{Ligra, Polymer, GraphGrind} {
-		// Engine over the dynamic view (reordered snapshot, live bounds).
+		// Engine over the dynamic view (reordered snapshot, live bounds),
+		// via the deprecated shim this test exists to cover.
+		//lint:ignore SA1019 the shim's compatibility contract is under test
 		de, err := d.NewEngine(sys, opts)
 		if err != nil {
 			t.Fatalf("%v: dynamic engine: %v", sys, err)

@@ -37,6 +37,12 @@ type Config struct {
 	Topology numa.Topology
 	// Out receives the report.
 	Out io.Writer
+	// Quick selects the CI smoke configuration: the streaming experiments
+	// (dynamic, view) replay only a couple of batches so the drivers can't
+	// silently rot, and the view experiment fails — instead of merely
+	// reporting — when the maintained-row work ratio regresses to ≤ 1×
+	// (i.e. when engine patching stops applying under active maintenance).
+	Quick bool
 }
 
 // WithDefaults fills in the paper's defaults.

@@ -173,7 +173,7 @@ func TestDynamicSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"incremental", "rebuild/batch", "ldg(final)", "fennel(final)", "within 2×: true"} {
+	for _, want := range []string{"incremental", "rebuild/batch", "ldg(final)", "fennel(final)", "): true"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

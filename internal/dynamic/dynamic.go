@@ -17,24 +17,29 @@
 //     update, so the tracked edge imbalance Δ(n) and vertex imbalance δ(n)
 //     are always available without touching the graph.
 //
-//   - Incremental ordering maintenance, gated on both imbalances. Each update
-//     dirties its destination vertex — the vertex whose in-degree class
-//     changed. When Δ(n) exceeds RebuildThreshold or δ(n) exceeds
-//     VertexRebuildThreshold, the paper's Algorithm 2 greedy placement is
-//     re-run over the dirty vertices only: they are pulled out of their
-//     partitions and re-placed in decreasing-degree order onto the
-//     least-loaded partition (least-edge for non-zero degrees, least-vertex
-//     for zero degrees), exactly as phases 1 and 2 do for the full vertex
-//     set. Vertices whose degree class did not change keep their placement,
-//     so the repair costs O(k log k + kP) for k dirty vertices instead of
-//     O(n log P). If the repair cannot pull both imbalances back under their
-//     thresholds the subsystem falls back to a full core.ReorderDegrees
-//     rebuild.
+//   - Incremental ordering maintenance, gated on the imbalances. The gate
+//     (Δ(n) over the effective rebuild threshold, which scales with the
+//     graph's degree granularity unless disabled) triggers a repair whose
+//     strategy is the configured RepairMode. The default, RepairPreserve,
+//     fixes the edge balance with vertex swaps: a vertex of the most-loaded
+//     partition trades places — partition AND new ID — with a lower-degree
+//     vertex of the least-loaded one, so per-partition vertex counts, the
+//     segment boundaries of the ordering, and the new IDs of every unmoved
+//     vertex are all invariant. The legacy RepairReplace re-runs the paper's
+//     Algorithm 2 greedy placement over the vertices whose in-degree class
+//     changed (O(k log k + kP) for k dirty vertices), followed by a
+//     vertex-balance pass; it reaches slightly tighter balance but
+//     renumbers the whole ordering. Either way, if the repair cannot pull
+//     the imbalances back under their thresholds the subsystem falls back
+//     to a full core.ReorderDegrees rebuild.
 //
 //   - View-delta tracking. Between drains (one per published facade view)
-//     the subsystem records the net resolved edge changes and whether any
-//     vertex moved partition. The facade derives the exact set of dirty
-//     partitions from the delta's destination endpoints and patches
+//     the subsystem records the net resolved edge changes, the set of
+//     vertices repositioned by placement-preserving swaps (Moved), and
+//     whether the whole numbering was invalidated (PlacementChanged). The
+//     facade derives the exact set of dirty partitions from the delta's
+//     destination endpoints plus the moved positions, builds the
+//     segment-local permutation from the two epochs' orderings, and patches
 //     engine-side structures for unchanged partitions instead of rebuilding
 //     them (see the vebo.View API).
 //
@@ -49,20 +54,45 @@ import (
 	"repro/internal/graph"
 )
 
+// RepairMode selects how threshold-gated maintenance restores balance.
+type RepairMode int
+
+const (
+	// RepairPreserve (the default) repairs the edge balance with vertex
+	// swaps that keep per-partition vertex counts — and therefore the
+	// partition segment boundaries of the ordering — fixed. Only the swapped
+	// vertices change new IDs (a segment-local permutation), so engine-side
+	// structures of untouched partitions stay patchable across repair
+	// epochs. δ(n) cannot drift in this mode: every move is a 1-for-1
+	// exchange.
+	RepairPreserve RepairMode = iota
+	// RepairReplace is the legacy mode: Algorithm 2's greedy placement
+	// re-runs over the dirty vertices, followed by a vertex-balance pass.
+	// It converges to slightly better Δ(n) on hostile streams but moves
+	// vertices across partitions freely, renumbering the whole ordering and
+	// invalidating every cached engine.
+	RepairReplace
+)
+
 // Config tunes a dynamic graph. The zero value selects the defaults below.
 type Config struct {
 	// Partitions is the VEBO partition count P (default 64).
 	Partitions int
 	// RebuildThreshold is the Δ(n) value above which maintenance runs: first
-	// the dirty-vertex incremental repair, then — if an imbalance is still
-	// above its threshold — a full reorder. Default 2, the paper's power-law
-	// bound (Theorem 1 gives Δ ≤ 1; one in-flight batch may add one more).
+	// the incremental repair (swap-based by default, see RepairMode), then —
+	// if an imbalance is still above its threshold — a full reorder.
+	// Default 2, the paper's power-law bound (Theorem 1 gives Δ ≤ 1; one
+	// in-flight batch may add one more). Unless DisableAdaptiveThreshold is
+	// set, the effective threshold additionally scales with the graph's
+	// degree spread: see EffectiveRebuildThreshold.
 	RebuildThreshold int64
 	// VertexRebuildThreshold is the δ(n) value above which maintenance runs.
-	// Repair placement balances edges first, so δ(n) drifts under edge-only
-	// gating (to ~35 on the 100k-update powerlaw stream); gating on δ(n) too
-	// bounds it. Default 4 (2× Theorem 2's δ ≤ ~1 static bound, with slack
-	// for in-flight batches).
+	// Replace-mode repair placement balances edges first, so δ(n) drifts
+	// under edge-only gating (to ~35 on the 100k-update powerlaw stream);
+	// gating on δ(n) too bounds it. Default 4 (2× Theorem 2's δ ≤ ~1 static
+	// bound, with slack for in-flight batches). In RepairPreserve mode δ(n)
+	// is frozen at its initial value, so this gate never fires between full
+	// rebuilds.
 	VertexRebuildThreshold int64
 	// CompactEvery bounds the delta log: once the number of pending
 	// insertions plus pending deletions reaches it, ApplyBatch compacts the
@@ -70,6 +100,15 @@ type Config struct {
 	// max(8192, liveEdges/8): compaction costs O(m), so a fixed small bound
 	// would pay it every few batches on large graphs.
 	CompactEvery int
+	// Repair selects the maintenance strategy (default RepairPreserve).
+	Repair RepairMode
+	// DisableAdaptiveThreshold pins the Δ(n) gate to RebuildThreshold
+	// exactly instead of scaling it with the degree spread. Repairs move
+	// whole vertices, so the achievable Δ(n) is bounded below by the
+	// in-degrees of the vertices available to move: on near-uniform-degree
+	// graphs (usaroad) a fixed threshold below that granularity forces a
+	// futile full rebuild every batch. Exists for the adaptivity ablation.
+	DisableAdaptiveThreshold bool
 }
 
 // DefaultPartitions is the default VEBO partition count for dynamic graphs,
@@ -114,12 +153,17 @@ type Stats struct {
 	// Inserts and Deletes split Updates.
 	Inserts, Deletes int64
 	// Placements is the total number of greedy vertex placements performed,
-	// including the initial full ordering and any full rebuilds.
+	// including the initial full ordering and any full rebuilds. A swap
+	// counts as two placements (both ends are re-placed).
 	Placements int64
-	// Repairs is the number of incremental dirty-vertex repairs.
+	// Repairs is the number of incremental repair passes (swap-based or
+	// dirty-vertex, per the configured RepairMode).
 	Repairs int64
 	// RepairedVertices is the number of placements done by repairs alone.
 	RepairedVertices int64
+	// Swaps is the number of placement-preserving vertex pair exchanges
+	// performed by RepairPreserve passes.
+	Swaps int64
 	// VertexMoves is the number of single-vertex moves performed by the
 	// δ(n) vertex-balance repair.
 	VertexMoves int64
@@ -195,20 +239,44 @@ type Graph struct {
 	snapEpoch int64
 
 	// placeEpoch increments whenever any vertex changes partition (repair or
-	// rebuild). The cached permutation is stable across epochs that only
-	// change degrees, which is what makes engine-side patching possible.
+	// rebuild). renumEpoch increments only when the whole numbering is
+	// invalidated (full rebuild or a replace-mode repair): swap repairs bump
+	// placeEpoch but not renumEpoch, because they permute IDs only inside
+	// the affected partitions' segments and the rest of the numbering
+	// survives. The cached permutation is stable across epochs that only
+	// change degrees and is maintained copy-on-write across swap repairs,
+	// which is what makes engine-side patching possible.
 	placeEpoch int64
+	renumEpoch int64
 	ordPerm    []graph.VertexID
 	ordPartOf  []uint32
 	ordPlace   int64
 
+	// adaptGran caches the repair granularity estimate (a low quantile of
+	// the nonzero in-degrees); adaptNext is the Updates count at which it is
+	// recomputed.
+	adaptGran int64
+	adaptNext int64
+
+	// members holds the per-partition member lists the swap repair picks
+	// exchange pairs from, maintained incrementally across repair passes
+	// (swaps move entries between lists in place); nil when stale — any
+	// placement change outside the swap path invalidates it. Avoids an
+	// O(n) re-bucketing per pass in the serving regime, where repairs fire
+	// almost every batch.
+	members [][]graph.VertexID
+
 	// View-delta accumulators, drained by DrainViewDelta.
 	viewNet   map[graph.Edge]int64
+	viewMoved map[graph.VertexID]struct{}
 	viewPlace bool
 }
 
 // New wraps g in a dynamic graph, computing the initial VEBO ordering.
 func New(g *graph.Graph, cfg Config) (*Graph, error) {
+	if cfg.Repair != RepairPreserve && cfg.Repair != RepairReplace {
+		return nil, fmt.Errorf("dynamic: unknown repair mode %d", cfg.Repair)
+	}
 	cfg = cfg.withDefaults()
 	r, err := core.Reorder(g, cfg.Partitions, core.Options{})
 	if err != nil {
@@ -229,6 +297,7 @@ func New(g *graph.Graph, cfg Config) (*Graph, error) {
 		partVerts: append([]int64(nil), r.VertexCounts...),
 		dirty:     make(map[graph.VertexID]struct{}),
 		viewNet:   make(map[graph.Edge]int64),
+		viewMoved: make(map[graph.VertexID]struct{}),
 	}
 	copy(d.assign, r.PartitionOf)
 	d.stats.Placements = int64(d.n)
@@ -276,6 +345,21 @@ func (d *Graph) Epoch() int64 { return d.epoch }
 // PlaceEpoch returns the placement epoch, incremented whenever any vertex
 // changes partition.
 func (d *Graph) PlaceEpoch() int64 { return d.placeEpoch }
+
+// RenumEpoch returns the renumbering epoch, incremented only when the whole
+// ordering is invalidated (full rebuild or replace-mode repair). Swap
+// repairs preserve it: between equal renumbering epochs, new IDs of all
+// vertices outside the drained ViewDelta.Moved set are identical.
+func (d *Graph) RenumEpoch() int64 { return d.renumEpoch }
+
+// EffectiveRebuildThreshold returns the Δ(n) gate currently in force:
+// RebuildThreshold, raised to twice the repair granularity — the 10th
+// percentile of the nonzero live in-degrees — unless adaptivity is
+// disabled. Repairs move whole vertices, so they cannot balance below the
+// degrees of the vertices available to move; on near-uniform-degree graphs
+// the granularity equals the common degree and a fixed low threshold would
+// trigger a futile full rebuild every batch.
+func (d *Graph) EffectiveRebuildThreshold() int64 { return d.effEdgeThreshold() }
 
 // PendingOps reports the current delta-log size (pending insertions plus
 // pending deletions against the base graph).
@@ -352,14 +436,78 @@ func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
 // overThreshold reports whether either tracked imbalance exceeds its
 // maintenance threshold.
 func (d *Graph) overThreshold() bool {
-	return d.EdgeImbalance() > d.cfg.RebuildThreshold ||
+	return d.EdgeImbalance() > d.effEdgeThreshold() ||
 		d.VertexImbalance() > d.cfg.VertexRebuildThreshold
+}
+
+// adaptCap bounds the degree histogram used for the granularity quantile;
+// a granularity estimate above it is clamped (the threshold is then 2×cap,
+// which only an extremely dense uniform-degree graph reaches).
+const adaptCap = 1024
+
+// effEdgeThreshold returns the Δ(n) gate currently in force, refreshing the
+// cached granularity estimate when enough updates have landed since the
+// last computation (the degree distribution drifts slowly, and the O(n)
+// quantile should not be paid per batch).
+func (d *Graph) effEdgeThreshold() int64 {
+	t := d.cfg.RebuildThreshold
+	if d.cfg.DisableAdaptiveThreshold {
+		return t
+	}
+	if d.adaptNext == 0 || d.stats.Updates >= d.adaptNext {
+		d.refreshGranularity()
+	}
+	if a := 2 * d.adaptGran; a > t {
+		t = a
+	}
+	return t
+}
+
+// refreshGranularity recomputes the repair granularity: the 10th percentile
+// of the nonzero live in-degrees. Power-law graphs keep it at 1 (degree-1
+// vertices are abundant, so repairs can fine-tune the balance in steps of
+// 1); near-uniform-degree graphs (usaroad sits at 4) push it to the common
+// degree, the smallest imbalance a whole-vertex move can express.
+func (d *Graph) refreshGranularity() {
+	hist := make([]int64, adaptCap+1)
+	var nonzero int64
+	for _, deg := range d.degIn {
+		if deg <= 0 {
+			continue
+		}
+		nonzero++
+		if deg > adaptCap {
+			deg = adaptCap
+		}
+		hist[deg]++
+	}
+	d.adaptGran = 0
+	if nonzero > 0 {
+		tenth := (nonzero + 9) / 10
+		var cum int64
+		for b := int64(1); b <= adaptCap; b++ {
+			cum += hist[b]
+			if cum >= tenth {
+				d.adaptGran = b
+				break
+			}
+		}
+	}
+	step := int64(d.n) / 2
+	if step < 4096 {
+		step = 4096
+	}
+	d.adaptNext = d.stats.Updates + step
 }
 
 // finishBatch runs the end-of-batch maintenance and fills the result.
 func (d *Graph) finishBatch(res BatchResult) BatchResult {
 	if d.overThreshold() {
-		d.repair()
+		if d.cfg.Repair == RepairPreserve {
+			d.swapRepair()
+		} else {
+			d.repair()
+		}
 		res.Repaired = true
 		if d.overThreshold() {
 			d.rebuild()
@@ -383,7 +531,7 @@ func (d *Graph) insertEdge(s, dst graph.VertexID, w int32) {
 	d.liveEdges++
 	d.degIn[dst]++
 	d.partEdges[d.assign[dst]]++
-	d.dirty[dst] = struct{}{}
+	d.markDirty(dst)
 	d.noteChange(graph.Edge{Src: s, Dst: dst, Weight: w}, +1)
 	d.touch()
 	d.stats.Updates++
@@ -437,7 +585,7 @@ func (d *Graph) deleteEdge(s, dst graph.VertexID, wSel int32) error {
 	d.liveEdges--
 	d.degIn[dst]--
 	d.partEdges[d.assign[dst]]--
-	d.dirty[dst] = struct{}{}
+	d.markDirty(dst)
 	d.noteChange(graph.Edge{Src: s, Dst: dst, Weight: died}, -1)
 	d.touch()
 	d.stats.Updates++
@@ -501,6 +649,156 @@ func (d *Graph) noteChange(e graph.Edge, sign int64) {
 
 func (d *Graph) touch() {
 	d.epoch++
+}
+
+// markDirty records that dst's in-degree class changed. Only the
+// replace-mode repair consumes the dirty set; the swap repair picks movers
+// by current load, so preserve mode skips the bookkeeping.
+func (d *Graph) markDirty(dst graph.VertexID) {
+	if d.cfg.Repair == RepairReplace {
+		d.dirty[dst] = struct{}{}
+	}
+}
+
+// ensureMembers (re)builds the per-partition member lists when stale.
+func (d *Graph) ensureMembers() {
+	if d.members != nil {
+		return
+	}
+	d.members = make([][]graph.VertexID, d.cfg.Partitions)
+	for v := 0; v < d.n; v++ {
+		q := d.assign[v]
+		d.members[q] = append(d.members[q], graph.VertexID(v))
+	}
+}
+
+// swapRepair pulls Δ(n) back under the effective threshold without moving
+// the partition segment boundaries: each step exchanges a vertex v of the
+// most-loaded partition with a lower-degree vertex u of the least-loaded
+// one, transferring deg(v)−deg(u) edges while both vertex counts stay
+// fixed. The pair is chosen to maximize the edge-balance gain (transfer
+// closest to half the gap), breaking ties toward the lowest-degree u. The
+// two vertices exchange new IDs, so the ordering permutation changes at
+// exactly the swapped positions — a segment-local permutation the view
+// layer can patch engines across (ViewDelta.Moved). The shared cached
+// permutation is never mutated: a repair pass that swaps clones it once
+// (copy-on-write) so views pinned to earlier epochs keep their numbering.
+func (d *Graph) swapRepair() {
+	th := d.effEdgeThreshold()
+	if core.Spread(d.partEdges) <= th {
+		return
+	}
+	d.ensureOrdering()
+	d.ensureMembers()
+	p := d.cfg.Partitions
+	lists := d.members
+	// Partition member lists are sorted by ascending live degree lazily, on
+	// first use as a donor or receiver in this pass (degrees drift between
+	// passes, so sortedness never carries over); a typical pass touches a
+	// handful of partitions, not all P.
+	sorted := make([]bool, p)
+	byDeg := func(l []graph.VertexID) func(i, j int) bool {
+		return func(i, j int) bool {
+			if d.degIn[l[i]] != d.degIn[l[j]] {
+				return d.degIn[l[i]] < d.degIn[l[j]]
+			}
+			return l[i] < l[j]
+		}
+	}
+	sortList := func(q int) {
+		if !sorted[q] {
+			sort.Slice(lists[q], byDeg(lists[q]))
+			sorted[q] = true
+		}
+	}
+	// insertSorted keeps a sorted list sorted after adding w.
+	insertSorted := func(q int, w graph.VertexID) {
+		l := lists[q]
+		i := sort.Search(len(l), func(i int) bool {
+			if d.degIn[l[i]] != d.degIn[w] {
+				return d.degIn[l[i]] > d.degIn[w]
+			}
+			return l[i] >= w
+		})
+		l = append(l, 0)
+		copy(l[i+1:], l[i:])
+		l[i] = w
+		lists[q] = l
+	}
+	var perm []graph.VertexID
+	var partOf []uint32
+	var moved []graph.VertexID
+	var swaps int64
+	for iter := 0; iter < d.n; iter++ {
+		pmax := argMin2Neg(d.partEdges)
+		pmin := argMin2(d.partEdges, d.partVerts)
+		gap := d.partEdges[pmax] - d.partEdges[pmin]
+		if gap <= th {
+			break
+		}
+		sortList(pmax)
+		sortList(pmin)
+		lmax, lmin := lists[pmax], lists[pmin]
+		// Best pair: minimize |transfer − gap/2| over transfers in (0, gap),
+		// which strictly shrinks this pair's imbalance (and the sum of
+		// squared loads, so the loop terminates). For each candidate u the
+		// two donors bracketing the ideal degree suffice, since degrees are
+		// sorted.
+		bestV, bestU := -1, -1
+		var bestScore int64
+		for ui, u := range lmin {
+			target := d.degIn[u] + (gap+1)/2
+			i := sort.Search(len(lmax), func(i int) bool { return d.degIn[lmax[i]] >= target })
+			for _, j := range [2]int{i - 1, i} {
+				if j < 0 || j >= len(lmax) {
+					continue
+				}
+				t := d.degIn[lmax[j]] - d.degIn[u]
+				if t <= 0 || t >= gap {
+					continue
+				}
+				score := gap - 2*t
+				if score < 0 {
+					score = -score
+				}
+				if bestV < 0 || score < bestScore {
+					bestV, bestU, bestScore = j, ui, score
+				}
+			}
+		}
+		if bestV < 0 {
+			break // no improving exchange exists; the caller may rebuild
+		}
+		v, u := lmax[bestV], lmin[bestU]
+		if perm == nil {
+			perm = append([]graph.VertexID(nil), d.ordPerm...)
+			partOf = append([]uint32(nil), d.ordPartOf...)
+		}
+		dv, du := d.degIn[v], d.degIn[u]
+		d.assign[v], d.assign[u] = uint32(pmin), uint32(pmax)
+		partOf[v], partOf[u] = uint32(pmin), uint32(pmax)
+		d.partEdges[pmax] += du - dv
+		d.partEdges[pmin] += dv - du
+		perm[v], perm[u] = perm[u], perm[v]
+		moved = append(moved, v, u)
+		swaps++
+		lists[pmax] = append(lmax[:bestV], lmax[bestV+1:]...)
+		lists[pmin] = append(lmin[:bestU], lmin[bestU+1:]...)
+		insertSorted(pmax, u)
+		insertSorted(pmin, v)
+	}
+	if swaps > 0 {
+		d.ordPerm, d.ordPartOf = perm, partOf
+		d.placeEpoch++
+		d.ordPlace = d.placeEpoch
+		for _, w := range moved {
+			d.viewMoved[w] = struct{}{}
+		}
+		d.stats.Swaps += swaps
+		d.stats.Placements += 2 * swaps
+		d.stats.RepairedVertices += 2 * swaps
+	}
+	d.stats.Repairs++
 }
 
 // repair re-runs Algorithm 2's greedy placement over the dirty vertices
@@ -645,10 +943,18 @@ func (d *Graph) rebuild() {
 }
 
 // placementChanged invalidates everything keyed to the placement: the cached
-// permutation and the patchability of engine-side structures.
+// permutation and the patchability of engine-side structures. Swap repairs
+// do NOT go through here — they maintain the permutation copy-on-write and
+// record their moves in viewMoved instead, keeping the numbering lineage
+// (renumEpoch) intact.
 func (d *Graph) placementChanged() {
 	d.placeEpoch++
+	d.renumEpoch++
 	d.viewPlace = true
+	// Per-vertex move tracking is moot once the whole numbering changed,
+	// and the swap repair's member lists no longer match the assignment.
+	d.viewMoved = make(map[graph.VertexID]struct{})
+	d.members = nil
 }
 
 // Rebuild forces a full reorder regardless of the thresholds.
@@ -786,39 +1092,51 @@ func (d *Graph) Compact() {
 	d.stats.Compactions++
 }
 
+// ensureOrdering makes the cached permutation current. The full
+// (partition, degree desc, ID) sort runs only when the numbering lineage
+// broke (initial call, full rebuild, replace-mode repair); swap repairs
+// update the cached permutation copy-on-write themselves, so between
+// renumbering events the new IDs of unmoved vertices never change.
+func (d *Graph) ensureOrdering() {
+	if d.ordPerm != nil && d.ordPlace == d.placeEpoch {
+		return
+	}
+	order := make([]int, d.n)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if d.assign[a] != d.assign[b] {
+			return d.assign[a] < d.assign[b]
+		}
+		if d.degIn[a] != d.degIn[b] {
+			return d.degIn[a] > d.degIn[b]
+		}
+		return a < b
+	})
+	perm := make([]graph.VertexID, d.n)
+	for newID, v := range order {
+		perm[v] = graph.VertexID(newID)
+	}
+	d.ordPerm = perm
+	d.ordPartOf = append([]uint32(nil), d.assign...)
+	d.ordPlace = d.placeEpoch
+}
+
 // Ordering returns the current placement as a core.Result: the permutation
 // renumbers vertices so each partition owns a contiguous new-ID range, with
-// vertices in decreasing degree order (as of the last placement change)
+// vertices in decreasing degree order (as of the last renumbering event)
 // inside it, as Algorithm 2's phase 3 does. The permutation is recomputed
-// only when a vertex changes partition — degree-only epochs keep the exact
-// numbering, which is what lets engine-side structures of unchanged
-// partitions be reused — while the returned per-partition counts are always
-// current. The Perm and PartitionOf slices are shared and immutable; callers
-// must not modify them.
+// only when the numbering lineage breaks (full rebuild or replace-mode
+// repair); swap repairs permute it copy-on-write at exactly the swapped
+// positions, and degree-only epochs keep the exact numbering — which is
+// what lets engine-side structures of unchanged partitions be reused —
+// while the returned per-partition counts are always current. The Perm and
+// PartitionOf slices are shared and immutable; callers must not modify
+// them.
 func (d *Graph) Ordering() *core.Result {
-	if d.ordPerm == nil || d.ordPlace != d.placeEpoch {
-		order := make([]int, d.n)
-		for v := range order {
-			order[v] = v
-		}
-		sort.Slice(order, func(i, j int) bool {
-			a, b := order[i], order[j]
-			if d.assign[a] != d.assign[b] {
-				return d.assign[a] < d.assign[b]
-			}
-			if d.degIn[a] != d.degIn[b] {
-				return d.degIn[a] > d.degIn[b]
-			}
-			return a < b
-		})
-		perm := make([]graph.VertexID, d.n)
-		for newID, v := range order {
-			perm[v] = graph.VertexID(newID)
-		}
-		d.ordPerm = perm
-		d.ordPartOf = append([]uint32(nil), d.assign...)
-		d.ordPlace = d.placeEpoch
-	}
+	d.ensureOrdering()
 	return &core.Result{
 		P:            d.cfg.Partitions,
 		Perm:         d.ordPerm,
@@ -837,8 +1155,17 @@ type ViewDelta struct {
 	// Net maps an edge triple (Src, Dst, normalized Weight) to its net
 	// multiplicity change since the last drain. Entries are never zero.
 	Net map[graph.Edge]int64
-	// PlacementChanged reports whether any vertex changed partition since
-	// the last drain, invalidating the permutation and partition bounds.
+	// Moved holds the original-ID vertices repositioned by
+	// placement-preserving swap repairs since the last drain: their
+	// partition and new ID changed, but the partition segment boundaries
+	// did not, and every vertex outside the set kept its exact new ID. The
+	// set may over-approximate after window arithmetic (an entry whose
+	// endpoint positions turn out equal is harmless — its segment
+	// permutation entry is the identity).
+	Moved map[graph.VertexID]struct{}
+	// PlacementChanged reports whether the whole numbering was invalidated
+	// since the last drain (full rebuild or replace-mode repair); swap
+	// repairs set Moved instead.
 	PlacementChanged bool
 	// Updates counts the net edge changes covered by this delta.
 	Updates int64
@@ -849,6 +1176,7 @@ type ViewDelta struct {
 func (d *Graph) DrainViewDelta() ViewDelta {
 	vd := ViewDelta{
 		Net:              d.viewNet,
+		Moved:            d.viewMoved,
 		PlacementChanged: d.viewPlace,
 	}
 	for _, c := range vd.Net {
@@ -859,15 +1187,37 @@ func (d *Graph) DrainViewDelta() ViewDelta {
 		}
 	}
 	d.viewNet = make(map[graph.Edge]int64)
+	d.viewMoved = make(map[graph.VertexID]struct{})
 	d.viewPlace = false
 	return vd
 }
 
+// mergeMoved unions two moved sets; a nil result stands for the empty set.
+func mergeMoved(a, b map[graph.VertexID]struct{}) map[graph.VertexID]struct{} {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[graph.VertexID]struct{}, len(a)+len(b))
+	for v := range a {
+		out[v] = struct{}{}
+	}
+	for v := range b {
+		out[v] = struct{}{}
+	}
+	return out
+}
+
 // Merge combines vd (earlier) with later into a fresh delta covering both
-// windows. Neither input is mutated.
+// windows. Moved is the union even when the combined window contains a
+// renumbering (PlacementChanged): a later re-anchor onto a view published
+// after the rebuild clears PlacementChanged again, and the swaps that
+// landed after the rebuild must still be there for it to trim against —
+// dropping them would leave the delta claiming an identity permutation
+// across a real move. Neither input is mutated.
 func (vd ViewDelta) Merge(later ViewDelta) ViewDelta {
 	out := ViewDelta{
 		Net:              make(map[graph.Edge]int64, len(vd.Net)+len(later.Net)),
+		Moved:            mergeMoved(vd.Moved, later.Moved),
 		PlacementChanged: vd.PlacementChanged || later.PlacementChanged,
 		Updates:          vd.Updates + later.Updates,
 	}
@@ -884,11 +1234,14 @@ func (vd ViewDelta) Merge(later ViewDelta) ViewDelta {
 }
 
 // Subtract returns the delta covering this delta's window minus a prefix of
-// it: Net is the exact multiset difference; PlacementChanged is left for
-// the caller to set from placement epochs. Neither input is mutated.
+// it: Net is the exact multiset difference; Moved is the union of both
+// windows' sets (a safe over-approximation — the caller can trim entries
+// whose endpoint positions agree); PlacementChanged is left for the caller
+// to set from renumbering epochs. Neither input is mutated.
 func (vd ViewDelta) Subtract(prefix ViewDelta) ViewDelta {
 	out := ViewDelta{
-		Net: make(map[graph.Edge]int64, len(vd.Net)),
+		Net:   make(map[graph.Edge]int64, len(vd.Net)),
+		Moved: mergeMoved(vd.Moved, prefix.Moved),
 	}
 	for e, c := range vd.Net {
 		out.Net[e] = c

@@ -465,3 +465,192 @@ func TestVertexImbalanceBounded(t *testing.T) {
 			st.Placements, batches*int64(g.NumVertices()))
 	}
 }
+
+// TestSwapRepairPreservesPlacementShape is the placement-preserving repair
+// invariant test: under the default (preserve) mode, per-partition vertex
+// counts — and therefore the ordering's segment boundaries — never change
+// between full rebuilds, repairs are pure ID swaps (RenumEpoch stays at its
+// initial value), and the edge balance still lands under the effective
+// threshold.
+func TestSwapRepairPreservesPlacementShape(t *testing.T) {
+	const batch = 256
+	g, updates, err := gen.StreamFromRecipe("powerlaw", 0.05, 20_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initCounts := d.VertexCounts()
+	initRenum := d.RenumEpoch()
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		res, err := d.ApplyBatch(updates[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rebuilt {
+			t.Fatalf("batch at %d fell back to a full rebuild in preserve mode", lo)
+		}
+		counts := d.VertexCounts()
+		for p := range counts {
+			if counts[p] != initCounts[p] {
+				t.Fatalf("batch at %d: partition %d vertex count drifted %d -> %d",
+					lo, p, initCounts[p], counts[p])
+			}
+		}
+	}
+	st := d.Stats()
+	if st.Swaps == 0 {
+		t.Fatal("stream triggered no swap repairs; the test exercises nothing")
+	}
+	if st.FullRebuilds != 0 {
+		t.Fatalf("preserve mode fell back to %d full rebuilds", st.FullRebuilds)
+	}
+	if d.RenumEpoch() != initRenum {
+		t.Fatalf("renumbering epoch moved %d -> %d without a rebuild", initRenum, d.RenumEpoch())
+	}
+	if got, limit := d.EdgeImbalance(), d.EffectiveRebuildThreshold(); got > limit {
+		t.Fatalf("post-stream Δ(n) = %d exceeds the effective threshold %d", got, limit)
+	}
+	// The permutation must still be a valid segment-contiguous ordering.
+	r := d.Ordering()
+	bounds := r.Boundaries()
+	seen := make([]bool, d.NumVertices())
+	for v := 0; v < d.NumVertices(); v++ {
+		newID := int64(r.Perm[v])
+		if seen[newID] {
+			t.Fatalf("perm maps two vertices to %d", newID)
+		}
+		seen[newID] = true
+		p := r.PartitionOf[v]
+		if newID < bounds[p] || newID >= bounds[p+1] {
+			t.Fatalf("vertex %d: new ID %d outside partition %d segment [%d,%d)",
+				v, newID, p, bounds[p], bounds[p+1])
+		}
+	}
+}
+
+// uniformInDegreeGraph builds a graph where every vertex has in-degree
+// exactly k (sources are the k cyclic successors).
+func uniformInDegreeGraph(t *testing.T, n, k int) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n*k)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID((v + j) % n), Dst: graph.VertexID(v), Weight: 1,
+			})
+		}
+	}
+	g, err := graph.FromEdges(n, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAdaptiveThresholdUniformDegrees is the threshold-adaptivity
+// regression test (ROADMAP): on uniform-degree streams the Δ(n) gate scales
+// to twice the degree granularity, so maintenance picks the swap repair —
+// which can meet the scaled gate — instead of falling back to a full
+// rebuild on most batches, which is what a fixed threshold of 2 forces
+// (repairs cannot balance below whole-vertex degree granularity).
+func TestAdaptiveThresholdUniformDegrees(t *testing.T) {
+	const (
+		n     = 1000
+		k     = 5
+		batch = 100
+	)
+	g := uniformInDegreeGraph(t, n, k)
+	rng := rand.New(rand.NewSource(3))
+	live := g.Edges()
+	// Same-destination churn keeps every in-degree at exactly k: with
+	// 1000 % 16 != 0 the vertex counts force Δ(n) = k permanently, and no
+	// whole-vertex move can express less than k.
+	var exact []graph.EdgeUpdate
+	for i := 0; i < 2000; i++ {
+		j := rng.Intn(len(live))
+		e := live[j]
+		ne := graph.Edge{Src: graph.VertexID(rng.Intn(n)), Dst: e.Dst, Weight: 1}
+		exact = append(exact, graph.EdgeUpdate{Src: e.Src, Dst: e.Dst, Del: true},
+			graph.EdgeUpdate{Src: ne.Src, Dst: ne.Dst})
+		live[j] = ne
+	}
+	// Random-destination churn drifts degrees to k±ε, the near-uniform
+	// regime where swaps of granularity 1 exist but Δ(n) wanders well past
+	// the scaled gate, so repairs actually run.
+	var drift []graph.EdgeUpdate
+	for i := 0; i < 4000; i++ {
+		j := rng.Intn(len(live))
+		e := live[j]
+		ne := graph.Edge{Src: e.Src, Dst: graph.VertexID(rng.Intn(n)), Weight: 1}
+		drift = append(drift, graph.EdgeUpdate{Src: e.Src, Dst: e.Dst, Del: true},
+			graph.EdgeUpdate{Src: ne.Src, Dst: ne.Dst})
+		live[j] = ne
+	}
+
+	d, err := New(g, Config{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EffectiveRebuildThreshold(); got < 2*k {
+		t.Fatalf("uniform-degree effective threshold = %d, want >= %d", got, 2*k)
+	}
+	applyStream(t, d, exact, batch)
+	applyStream(t, d, drift, batch)
+	st := d.Stats()
+	if st.FullRebuilds != 0 {
+		t.Fatalf("adaptive gate still fell back to %d full rebuilds", st.FullRebuilds)
+	}
+	if st.Repairs == 0 || st.Swaps == 0 {
+		t.Fatalf("stream triggered no swap repairs (repairs=%d swaps=%d); the gate never fired", st.Repairs, st.Swaps)
+	}
+	if got, limit := d.EdgeImbalance(), d.EffectiveRebuildThreshold(); got > limit {
+		t.Fatalf("post-stream Δ(n) = %d exceeds the effective threshold %d", got, limit)
+	}
+
+	// Ablation: with the fixed threshold of 2, the exactly-uniform stream
+	// rebuilds over and over — Δ(n) = k is over the gate after every batch
+	// and neither repair nor rebuild can do better — the futile-work
+	// regression the adaptive gate exists to prevent.
+	df, err := New(g, Config{Partitions: 16, DisableAdaptiveThreshold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, df, exact, batch)
+	if df.Stats().FullRebuilds == 0 {
+		t.Fatal("fixed threshold avoided rebuilds on a uniform-degree stream; the ablation is vacuous")
+	}
+
+	// The powerlaw recipe keeps granularity 1, so the adaptive gate must
+	// leave its configured threshold alone.
+	pg, _, err := gen.StreamFromRecipe("powerlaw", 0.05, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := New(pg, Config{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dp.EffectiveRebuildThreshold(); got != 2 {
+		t.Fatalf("powerlaw effective threshold = %d, want the configured 2", got)
+	}
+}
+
+// TestNewRejectsUnknownRepairMode guards the mode dispatch: an undefined
+// RepairMode must fail construction instead of silently degrading to
+// rebuild-per-batch.
+func TestNewRejectsUnknownRepairMode(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, Config{Partitions: 2, Repair: RepairMode(7)}); err == nil {
+		t.Fatal("expected error for unknown repair mode")
+	}
+}

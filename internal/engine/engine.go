@@ -291,18 +291,26 @@ func MakespanGrouped(costs []int64, groups, workersPerGroup int) int64 {
 // PatchStats reports how much of an engine rebuild was avoided by patching:
 // partitions whose materialized structures (COOs, partition metadata,
 // scheduling units) were carried over from the previous epoch's engine
-// versus rebuilt, and the edges owned by each group.
+// versus rebuilt, and the edges owned by each group. Remapped partitions
+// sit in between: their edge content is unchanged but a segment-local
+// renumbering moved some referenced vertex IDs, so their structures were
+// copied with IDs rewritten — a single linear pass, cheaper than the
+// gather-and-sort of a rebuild.
 type PatchStats struct {
 	PartsRebuilt, PartsReused int
+	PartsRemapped             int
 	EdgesRebuilt, EdgesReused int64
+	EdgesRemapped             int64
 }
 
 // Add accumulates other into s.
 func (s *PatchStats) Add(other PatchStats) {
 	s.PartsRebuilt += other.PartsRebuilt
 	s.PartsReused += other.PartsReused
+	s.PartsRemapped += other.PartsRemapped
 	s.EdgesRebuilt += other.EdgesRebuilt
 	s.EdgesReused += other.EdgesReused
+	s.EdgesRemapped += other.EdgesRemapped
 }
 
 // Config carries the knobs shared by the three engines.

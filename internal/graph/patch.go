@@ -25,6 +25,20 @@ type PatchStats struct {
 // occurrence exists. The receiver is not modified. Merged rows are sorted by
 // (neighbor, weight); untouched rows keep their original order.
 func (g *Graph) PatchEdges(adds, dels []Edge) (*Graph, PatchStats, error) {
+	return g.PatchEdgesPerm(adds, dels, nil)
+}
+
+// PatchEdgesPerm generalizes PatchEdges with a segment-local renumbering:
+// the result equals g relabeled by perm, then patched with dels removed and
+// adds inserted (both given in post-perm IDs). perm maps each of g's vertex
+// IDs to its new ID and must be a permutation of [0, n); nil selects the
+// identity. The cost scales with the change, not the graph: only rows owned
+// by or referencing a moved vertex (perm[v] != v), plus rows incident to an
+// explicit add or delete, are merged — everything else is block-copied. This
+// is the patch-path contract behind placement-preserving repair: a swap
+// exchanges two IDs, so perm differs from the identity at exactly the
+// swapped positions and the rest of the graph is reused wholesale.
+func (g *Graph) PatchEdgesPerm(adds, dels []Edge, perm []VertexID) (*Graph, PatchStats, error) {
 	var st PatchStats
 	for _, e := range adds {
 		if int(e.Src) >= g.n || int(e.Dst) >= g.n {
@@ -36,6 +50,25 @@ func (g *Graph) PatchEdges(adds, dels []Edge) (*Graph, PatchStats, error) {
 			return nil, st, fmt.Errorf("graph: patch delete (%d,%d) out of range n=%d", e.Src, e.Dst, g.n)
 		}
 	}
+	var inv, moved []VertexID
+	if perm != nil {
+		if len(perm) != g.n {
+			return nil, st, fmt.Errorf("graph: patch perm length %d != n %d", len(perm), g.n)
+		}
+		inv = make([]VertexID, g.n)
+		for i := range inv {
+			inv[i] = VertexID(g.n) // sentinel: not yet assigned
+		}
+		for old, nw := range perm {
+			if int(nw) >= g.n || inv[nw] != VertexID(g.n) {
+				return nil, st, fmt.Errorf("graph: patch perm is not a permutation at %d -> %d", old, nw)
+			}
+			inv[nw] = VertexID(old)
+			if VertexID(old) != nw {
+				moved = append(moved, VertexID(old))
+			}
+		}
+	}
 	m := g.NumEdges() + int64(len(adds)) - int64(len(dels))
 	if m < 0 {
 		return nil, st, fmt.Errorf("graph: patch deletes %d edges from a graph with %d + %d added", len(dels), g.NumEdges(), len(adds))
@@ -44,14 +77,16 @@ func (g *Graph) PatchEdges(adds, dels []Edge) (*Graph, PatchStats, error) {
 
 	var err error
 	out.outOff, out.outDst, out.outW, err = patchSide(
-		g.n, m, g.outOff, g.outDst, g.outW, adds, dels, g.weighted,
-		func(e Edge) (VertexID, VertexID) { return e.Src, e.Dst }, &st)
+		g.n, g.outOff, g.outDst, g.outW, adds, dels, g.weighted,
+		func(e Edge) (VertexID, VertexID) { return e.Src, e.Dst },
+		perm, inv, moved, g.InNeighbors, &st)
 	if err != nil {
 		return nil, st, fmt.Errorf("graph: patch out-edges: %w", err)
 	}
 	out.inOff, out.inSrc, out.inW, err = patchSide(
-		g.n, m, g.inOff, g.inSrc, g.inW, adds, dels, g.weighted,
-		func(e Edge) (VertexID, VertexID) { return e.Dst, e.Src }, &st)
+		g.n, g.inOff, g.inSrc, g.inW, adds, dels, g.weighted,
+		func(e Edge) (VertexID, VertexID) { return e.Dst, e.Src },
+		perm, inv, moved, g.OutNeighbors, &st)
 	if err != nil {
 		return nil, st, fmt.Errorf("graph: patch in-edges: %w", err)
 	}
@@ -59,10 +94,15 @@ func (g *Graph) PatchEdges(adds, dels []Edge) (*Graph, PatchStats, error) {
 }
 
 // patchSide rebuilds one adjacency direction. key maps an edge to its (row
-// owner, stored neighbor) for this direction.
-func patchSide(n int, m int64, off []int64, ids []VertexID, ws []int32,
+// owner, stored neighbor) for this direction; refRows returns the rows (in
+// pre-perm IDs) whose adjacency lists mention a given pre-perm vertex, so
+// rows holding stale references to moved vertices can be located without
+// scanning the graph. adds and dels are in post-perm IDs.
+func patchSide(n int, off []int64, ids []VertexID, ws []int32,
 	adds, dels []Edge, weighted bool,
-	key func(Edge) (VertexID, VertexID), st *PatchStats,
+	key func(Edge) (VertexID, VertexID),
+	perm, inv, moved []VertexID, refRows func(VertexID) []VertexID,
+	st *PatchStats,
 ) ([]int64, []VertexID, []int32, error) {
 	type entry struct {
 		id VertexID
@@ -85,9 +125,42 @@ func patchSide(n int, m int64, off []int64, ids []VertexID, ws []int32,
 		rowDels[v] = append(rowDels[v], entry{nb, normW(e.Weight)})
 	}
 
+	// Dirty rows, in post-perm IDs: rows with explicit changes, rows owned
+	// by moved vertices (their content relocates and may self-reference),
+	// and rows whose lists mention a moved vertex (their stored neighbor IDs
+	// went stale). Everything else block-copies: an untouched row is owned
+	// by an unmoved vertex and references only unmoved vertices.
+	dirty := make(map[VertexID]struct{}, len(rowAdds)+len(rowDels)+2*len(moved))
+	for v := range rowAdds {
+		dirty[v] = struct{}{}
+	}
+	for v := range rowDels {
+		dirty[v] = struct{}{}
+	}
+	for _, a := range moved {
+		dirty[perm[a]] = struct{}{}
+		for _, r := range refRows(a) {
+			dirty[perm[r]] = struct{}{}
+		}
+	}
+
+	oldRow := func(v VertexID) VertexID {
+		if inv == nil {
+			return v
+		}
+		return inv[v]
+	}
+	mapID := func(id VertexID) VertexID {
+		if perm == nil {
+			return id
+		}
+		return perm[id]
+	}
+
 	newOff := make([]int64, n+1)
 	for v := 0; v < n; v++ {
-		deg := off[v+1] - off[v]
+		u := oldRow(VertexID(v))
+		deg := off[u+1] - off[u]
 		deg += int64(len(rowAdds[VertexID(v)])) - int64(len(rowDels[VertexID(v)]))
 		if deg < 0 {
 			return nil, nil, nil, fmt.Errorf("row %d: more deletions than edges", v)
@@ -98,25 +171,29 @@ func patchSide(n int, m int64, off []int64, ids []VertexID, ws []int32,
 	newWs := make([]int32, newOff[n])
 
 	for v := 0; v < n; v++ {
-		va := rowAdds[VertexID(v)]
-		vd := rowDels[VertexID(v)]
+		u := oldRow(VertexID(v))
 		dst := newIDs[newOff[v]:newOff[v+1]]
 		dw := newWs[newOff[v]:newOff[v+1]]
-		if len(va) == 0 && len(vd) == 0 {
-			copy(dst, ids[off[v]:off[v+1]])
-			copy(dw, ws[off[v]:off[v+1]])
-			st.EdgesCopied += off[v+1] - off[v]
+		if _, isDirty := dirty[VertexID(v)]; !isDirty {
+			// Clean rows are owned by unmoved vertices (u == v) and mention
+			// only unmoved neighbors, so the stored IDs are still valid.
+			copy(dst, ids[off[u]:off[u+1]])
+			copy(dw, ws[off[u]:off[u+1]])
+			st.EdgesCopied += off[u+1] - off[u]
 			continue
 		}
-		// Merge the dirty row: drop one old occurrence per deletion, append
-		// the additions, and re-sort by (neighbor, weight).
+		va := rowAdds[VertexID(v)]
+		vd := rowDels[VertexID(v)]
+		// Merge the dirty row: remap surviving neighbors through perm, drop
+		// one occurrence per deletion, append the additions, and re-sort by
+		// (neighbor, weight).
 		pending := make(map[entry]int, len(vd))
 		for _, e := range vd {
 			pending[e]++
 		}
 		k := 0
-		for i := off[v]; i < off[v+1]; i++ {
-			e := entry{ids[i], ws[i]}
+		for i := off[u]; i < off[u+1]; i++ {
+			e := entry{mapID(ids[i]), ws[i]}
 			if pending[e] > 0 {
 				pending[e]--
 				continue

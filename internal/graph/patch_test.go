@@ -151,3 +151,130 @@ func TestPatchEdgesErrors(t *testing.T) {
 		t.Errorf("unweighted delete should ignore weights: %v", err)
 	}
 }
+
+// applyPermToEdges maps both endpoints of every edge through perm.
+func applyPermToEdges(edges []Edge, perm []VertexID) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{Src: perm[e.Src], Dst: perm[e.Dst], Weight: e.Weight}
+	}
+	return out
+}
+
+// TestPatchEdgesPermMatchesRelabel drives PatchEdgesPerm with random
+// swap-product permutations (the shape placement-preserving repair emits)
+// combined with random adds and deletes, and checks the result is
+// byte-identical to relabeling from scratch and rebuilding: same offsets,
+// sorted rows, CSR and CSC both.
+func TestPatchEdgesPermMatchesRelabel(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(11))
+		const n = 80
+		edges := make([]Edge, 0, 500)
+		for i := 0; i < 500; i++ {
+			w := int32(1)
+			if weighted {
+				w = int32(rng.Intn(5) + 1)
+			}
+			edges = append(edges, Edge{
+				Src: VertexID(rng.Intn(n)), Dst: VertexID(rng.Intn(n)), Weight: w,
+			})
+		}
+		g, err := FromEdges(n, edges, weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			// A product of random transpositions, identity elsewhere.
+			perm := make([]VertexID, n)
+			for i := range perm {
+				perm[i] = VertexID(i)
+			}
+			for s := 0; s < 1+rng.Intn(4); s++ {
+				a, b := rng.Intn(n), rng.Intn(n)
+				perm[a], perm[b] = perm[b], perm[a]
+			}
+			// Deletes against surviving pre-perm edges, expressed post-perm;
+			// adds in post-perm IDs.
+			live := g.Edges()
+			var dels []Edge
+			for i := 0; i < 25 && len(live) > 0; i++ {
+				j := rng.Intn(len(live))
+				e := live[j]
+				dels = append(dels, Edge{Src: perm[e.Src], Dst: perm[e.Dst], Weight: e.Weight})
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			var adds []Edge
+			for i := 0; i < 30; i++ {
+				w := int32(1)
+				if weighted {
+					w = int32(rng.Intn(5) + 1)
+				}
+				adds = append(adds, Edge{
+					Src: VertexID(rng.Intn(n)), Dst: VertexID(rng.Intn(n)), Weight: w,
+				})
+			}
+			patched, st, err := g.PatchEdgesPerm(adds, dels, perm)
+			if err != nil {
+				t.Fatalf("weighted=%v trial %d: %v", weighted, trial, err)
+			}
+			want, err := FromEdges(n,
+				append(applyPermToEdges(live, perm), adds...), weighted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(patched, want) {
+				t.Fatalf("weighted=%v trial %d: patched graph differs from relabel+rebuild", weighted, trial)
+			}
+			if st.EdgesCopied+st.EdgesMerged < patched.NumEdges() {
+				t.Fatalf("stats cover %d edges of %d", st.EdgesCopied+st.EdgesMerged, patched.NumEdges())
+			}
+			g = patched // chain: later trials patch an already-patched graph
+		}
+	}
+}
+
+// TestPatchEdgesPermPure checks a pure renumbering (no adds or deletes)
+// equals Relabel, and that rows untouched by the permutation are copied,
+// not merged.
+func TestPatchEdgesPermPure(t *testing.T) {
+	g, err := FromEdges(6, []Edge{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}, {5, 0, 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []VertexID{0, 1, 2, 4, 3, 5} // swap 3 and 4
+	patched, st, err := g.PatchEdgesPerm(nil, nil, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, edgeMultiset(patched), edgeMultiset(want))
+	if st.EdgesCopied == 0 {
+		t.Fatalf("pure swap should block-copy untouched rows: %+v", st)
+	}
+	// Rows incident to the swap are merged; the 0->1->2 chain is untouched.
+	if st.EdgesMerged == 0 || st.EdgesMerged >= patched.NumEdges()*2 {
+		t.Fatalf("unexpected merge volume: %+v", st)
+	}
+}
+
+// TestPatchEdgesPermErrors validates the permutation argument.
+func TestPatchEdgesPermErrors(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.PatchEdgesPerm(nil, nil, []VertexID{0, 1}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, _, err := g.PatchEdgesPerm(nil, nil, []VertexID{0, 1, 1}); err == nil {
+		t.Error("expected non-permutation error")
+	}
+	if _, _, err := g.PatchEdgesPerm(nil, nil, []VertexID{0, 1, 3}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}

@@ -87,36 +87,71 @@ func New(g *graph.Graph, cfg Config) (*GraphGrind, error) {
 // differs from gg's only inside partitions for which dirty reports true —
 // reusing gg's materialized per-partition COOs and metadata for every clean
 // partition. The caller guarantees that g has the same vertex count and that
-// gg's partition boundaries are still the ones to use (i.e. the vertex
-// placement did not change between the two graphs); only dirty partitions
-// have their COO re-materialized and their edge count re-scanned.
-func (gg *GraphGrind) Patch(g *graph.Graph, dirty func(lo, hi graph.VertexID) bool) (*GraphGrind, engine.PatchStats, error) {
+// gg's partition boundaries are still the ones to use: either the vertex
+// placement did not change between the two graphs (perm == nil), or it
+// changed by a segment-local permutation perm (old ID → new ID, identity
+// outside the moved vertices) that kept every partition's vertex count — and
+// therefore the boundaries — fixed. With a non-nil perm the caller must
+// flag partitions owning a moved vertex as dirty, and partitions whose COO
+// references a moved source vertex via srcMoved (nil = none): dirty
+// partitions are rebuilt from g, srcMoved-only partitions are remapped — a
+// linear copy with source IDs rewritten through perm — and everything else
+// shares the previous epoch's structures outright.
+//
+// Remapped COOs keep their entry order, so a Hilbert- or CSR-ordered COO is
+// no longer strictly sorted at the handful of rewritten entries. Entry
+// order only shapes the modeled memory-access locality (dense traversal
+// applies the kernel per edge regardless of order), so correctness is
+// unaffected; the order fully heals at the partition's next rebuild.
+func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, dirty, srcMoved func(lo, hi graph.VertexID) bool) (*GraphGrind, engine.PatchStats, error) {
 	var st engine.PatchStats
 	if g.NumVertices() != gg.g.NumVertices() {
 		return nil, st, fmt.Errorf("graphgrind: patch vertex count %d != %d", g.NumVertices(), gg.g.NumVertices())
 	}
 	parts := make([]partition.Partition, len(gg.parts))
 	coos := make([]*layout.COO, len(gg.coos))
-	for i, pt := range gg.parts {
-		if !dirty(pt.Lo, pt.Hi) {
-			parts[i] = pt
-			coos[i] = gg.coos[i]
-			st.PartsReused++
-			st.EdgesReused += pt.Edges
-			continue
-		}
+	rebuild := func(i int, pt partition.Partition) error {
 		np := partition.Partition{Lo: pt.Lo, Hi: pt.Hi}
 		for v := pt.Lo; v < pt.Hi; v++ {
 			np.Edges += g.InDegree(v)
 		}
 		c, err := layout.BuildRange(g, pt.Lo, pt.Hi, gg.cfg.Order)
 		if err != nil {
-			return nil, st, err
+			return err
 		}
 		parts[i] = np
 		coos[i] = c
 		st.PartsRebuilt++
 		st.EdgesRebuilt += np.Edges
+		return nil
+	}
+	for i, pt := range gg.parts {
+		if dirty(pt.Lo, pt.Hi) {
+			if err := rebuild(i, pt); err != nil {
+				return nil, st, err
+			}
+			continue
+		}
+		if perm != nil && srcMoved != nil && srcMoved(pt.Lo, pt.Hi) {
+			c, ok := remapCOO(gg.coos[i], perm)
+			if !ok {
+				// A destination moved inside a partition the caller claimed
+				// clean; rebuild defensively rather than trust the contract.
+				if err := rebuild(i, pt); err != nil {
+					return nil, st, err
+				}
+				continue
+			}
+			parts[i] = pt
+			coos[i] = c
+			st.PartsRemapped++
+			st.EdgesRemapped += pt.Edges
+			continue
+		}
+		parts[i] = pt
+		coos[i] = gg.coos[i]
+		st.PartsReused++
+		st.EdgesReused += pt.Edges
 	}
 	return &GraphGrind{
 		g:      g,
@@ -126,6 +161,23 @@ func (gg *GraphGrind) Patch(g *graph.Graph, dirty func(lo, hi graph.VertexID) bo
 		coos:   coos,
 		partOf: gg.partOf,
 	}, st, nil
+}
+
+// remapCOO copies c with source IDs rewritten through perm. The partition's
+// destinations must be unmoved (its in-edge content would otherwise have
+// changed); ok=false reports a violation so the caller can rebuild. The
+// destination and weight arrays are shared with c, which is immutable.
+func remapCOO(c *layout.COO, perm []graph.VertexID) (*layout.COO, bool) {
+	for _, d := range c.Dst {
+		if perm[d] != d {
+			return nil, false
+		}
+	}
+	src := make([]graph.VertexID, len(c.Src))
+	for i, s := range c.Src {
+		src[i] = perm[s]
+	}
+	return &layout.COO{Src: src, Dst: c.Dst, Weight: c.Weight, Ordering: c.Ordering}, true
 }
 
 // Name implements Engine.

@@ -48,8 +48,11 @@ func New(g *graph.Graph, cfg Config) *Ligra {
 
 // Rebind returns a Ligra engine over g reusing l's configuration and dense
 // scheduling units (which depend only on the vertex count). Ligra keeps no
-// partitioned per-edge structures, so "patching" it across epochs is just a
-// rebind of the graph pointer with fresh metrics.
+// partitioned per-edge structures — no stored vertex IDs at all beyond the
+// graph itself — so "patching" it across epochs is just a rebind of the
+// graph pointer with fresh metrics, valid under any renumbering of the
+// vertex space: identical ordering, a segment-local permutation from a
+// placement-preserving repair, or a full rebuild alike.
 func (l *Ligra) Rebind(g *graph.Graph) *Ligra {
 	if g.NumVertices() != l.g.NumVertices() {
 		return New(g, l.cfg)

@@ -67,12 +67,36 @@ func New(g *graph.Graph, cfg Config) (*Polymer, error) {
 // from p's only inside socket partitions for which dirty reports true —
 // reusing p's partition metadata and edge-balanced thread sub-ranges for
 // every clean partition. The caller guarantees that g has the same vertex
-// count and that p's partition boundaries still apply (the vertex placement
-// did not change); only dirty partitions are re-scanned and re-subdivided.
-func (p *Polymer) Patch(g *graph.Graph, dirty func(lo, hi graph.VertexID) bool) (*Polymer, engine.PatchStats, error) {
+// count and that p's partition boundaries still apply: either the vertex
+// placement did not change (perm == nil), or it changed by a segment-local
+// permutation perm (old ID → new ID, identity outside the moved vertices)
+// that kept the boundaries fixed. Polymer's per-partition state — edge
+// counts and thread sub-ranges — stores no neighbor IDs, so a clean
+// partition's structures survive any renumbering outside it; a partition
+// containing a moved vertex is upgraded to dirty (its per-vertex in-degree
+// layout changed), whether or not the caller flagged it. Dirty partitions
+// are re-scanned and re-subdivided.
+func (p *Polymer) Patch(g *graph.Graph, perm []graph.VertexID, dirty func(lo, hi graph.VertexID) bool) (*Polymer, engine.PatchStats, error) {
 	var st engine.PatchStats
 	if g.NumVertices() != p.g.NumVertices() {
 		return nil, st, fmt.Errorf("polymer: patch vertex count %d != %d", g.NumVertices(), p.g.NumVertices())
+	}
+	// The facade's dirty predicate already flags ranges containing moved
+	// vertices, so this scan is pure defense for other callers of the
+	// public API. It only runs over ranges claimed clean, costs one linear
+	// pass of integer compares per patch — noise next to re-subdividing
+	// even a single socket partition — and keeps Patch self-sufficiently
+	// correct when the caller's predicate under-reports.
+	rangeMoved := func(lo, hi graph.VertexID) bool {
+		if perm == nil {
+			return false
+		}
+		for v := lo; v < hi; v++ {
+			if perm[v] != v {
+				return true
+			}
+		}
+		return false
 	}
 	tps := p.cfg.Engine.Topology.ThreadsPerSocket
 	parts := make([]partition.Partition, len(p.parts))
@@ -83,7 +107,7 @@ func (p *Polymer) Patch(g *graph.Graph, dirty func(lo, hi graph.VertexID) bool) 
 		for ui < len(p.units) && p.units[ui].Lo >= pt.Lo && p.units[ui].Lo < pt.Hi {
 			ui++
 		}
-		if !dirty(pt.Lo, pt.Hi) {
+		if !dirty(pt.Lo, pt.Hi) && !rangeMoved(pt.Lo, pt.Hi) {
 			parts[i] = pt
 			units = append(units, p.units[lo:ui]...)
 			st.PartsReused++

@@ -228,6 +228,18 @@ type DynamicStats = dynamic.Stats
 // DynamicBatchResult re-exports the per-batch maintenance report.
 type DynamicBatchResult = dynamic.BatchResult
 
+// RepairMode selects the maintenance strategy of a Dynamic graph.
+type RepairMode = dynamic.RepairMode
+
+const (
+	// RepairPreserve (default) repairs balance with segment-local vertex
+	// swaps, keeping cached view engines patchable across repair epochs.
+	RepairPreserve = dynamic.RepairPreserve
+	// RepairReplace is the legacy dirty-vertex greedy re-placement, which
+	// renumbers the vertex space on every repair.
+	RepairReplace = dynamic.RepairReplace
+)
+
 // DynamicOptions tunes a dynamic graph. The zero value selects the defaults
 // documented in internal/dynamic.Config.
 type DynamicOptions struct {
@@ -241,6 +253,12 @@ type DynamicOptions struct {
 	// CompactEvery bounds the delta log before compaction (default:
 	// adaptive, max(8192, liveEdges/8)).
 	CompactEvery int
+	// Repair selects the maintenance strategy (default RepairPreserve).
+	Repair RepairMode
+	// DisableAdaptiveThreshold pins the Δ(n) gate to RebuildThreshold
+	// instead of scaling it with the degree spread; see
+	// internal/dynamic.Config.
+	DisableAdaptiveThreshold bool
 	// Engine configures the engines cached on published views: the virtual
 	// NUMA topology and GraphGrind's COO order. Partition counts and bounds
 	// come from the live ordering and are not configurable here.
@@ -281,10 +299,12 @@ type Dynamic struct {
 // and publishing the epoch-0 view.
 func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 	inner, err := dynamic.New(g, dynamic.Config{
-		Partitions:             opts.Partitions,
-		RebuildThreshold:       opts.RebuildThreshold,
-		VertexRebuildThreshold: opts.VertexRebuildThreshold,
-		CompactEvery:           opts.CompactEvery,
+		Partitions:               opts.Partitions,
+		RebuildThreshold:         opts.RebuildThreshold,
+		VertexRebuildThreshold:   opts.VertexRebuildThreshold,
+		CompactEvery:             opts.CompactEvery,
+		Repair:                   opts.Repair,
+		DisableAdaptiveThreshold: opts.DisableAdaptiveThreshold,
 	})
 	if err != nil {
 		return nil, err

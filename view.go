@@ -25,15 +25,21 @@ import (
 // keeps mutating the Dynamic underneath. All algorithm inputs and outputs use
 // original vertex IDs — the internal relabeling is invisible.
 //
-// Engine state is reused across epochs: when a new View's placement is
-// unchanged relative to the previous materialized View, its relabeled graph
-// is patched row-wise from the predecessor's, and per-partition engine
-// structures (GraphGrind COOs, Polymer scheduling units, partition metadata)
-// are rebuilt only for partitions whose edge content changed. ViewWork
-// reports the resulting rebuild-versus-patch work split.
+// Engine state is reused across epochs: when a new View's numbering lineage
+// is intact relative to the previous materialized View — identical
+// placement, or a placement-preserving swap repair that only permuted IDs
+// inside the affected partitions' segments (dynamic.ViewDelta.Moved) — its
+// relabeled graph is patched row-wise from the predecessor's through the
+// segment-local permutation, and per-partition engine structures
+// (GraphGrind COOs, Polymer scheduling units, partition metadata) are
+// rebuilt only for partitions whose edge content changed or that touch a
+// moved vertex. The snapshot in original vertex IDs is likewise patched
+// from the basis view's snapshot (original IDs never change, so snapshot
+// patching survives even full renumberings). ViewWork reports the
+// resulting rebuild-versus-patch-versus-relabel work split.
 type View struct {
 	epoch      int64
-	placeEpoch int64
+	renumEpoch int64 // numbering lineage (dynamic.RenumEpoch) at publish
 	anchorID   int64 // delta lineage the view was published under
 	nverts     int
 	parts      int
@@ -46,7 +52,7 @@ type View struct {
 	work       *viewWork
 
 	snapOnce sync.Once
-	snap     *Graph
+	snapP    atomic.Pointer[Graph]
 
 	rgOnce sync.Once
 	rgp    atomic.Pointer[Graph]
@@ -60,7 +66,13 @@ type View struct {
 	inv     []VertexID // new ID -> original ID
 
 	dirtyOnce sync.Once
-	dirtyDsts []VertexID // sorted dirty destinations in relabeled space
+	dirtyIDs  []VertexID // sorted dirty destinations + moved positions, relabeled space
+
+	srcOnce  sync.Once
+	srcDirty []VertexID // sorted dests of edges whose source moved, relabeled space
+
+	segOnce sync.Once
+	seg     []VertexID // basis new-ID -> this view's new-ID; nil when nothing moved
 
 	eng  [3]engineSlot
 	engT [3]engineSlot
@@ -93,40 +105,48 @@ type viewWork struct {
 	rebuildEdges  atomic.Int64
 	patchedEdges  atomic.Int64
 	reusedEdges   atomic.Int64
+	relabelEdges  atomic.Int64
 	partsRebuilt  atomic.Int64
 	partsReused   atomic.Int64
+	partsRelabel  atomic.Int64
 }
 
 // ViewWork is a snapshot of the engine-construction work a Dynamic's views
 // have done. Edges are the unit: RebuildEdges counts edges processed by
 // from-scratch construction (snapshot materialization, relabeling, COO and
 // partition builds), PatchedEdges counts edges reprocessed by the patch
-// paths (merged adjacency rows, rebuilt dirty partitions), and ReusedEdges
-// counts edges carried over untouched (shared COO pointers, block-copied
-// rows) — work avoided relative to rebuilding.
+// paths (merged adjacency rows, rebuilt dirty partitions), RelabeledEdges
+// counts edges rewritten by segment-local renumbering remaps after a
+// placement-preserving repair (a linear ID rewrite, cheaper than a patch
+// merge), and ReusedEdges counts edges carried over untouched (shared COO
+// pointers, block-copied rows) — work avoided relative to rebuilding.
 type ViewWork struct {
 	Epochs                      int64
 	GraphBuilds, GraphPatches   int64
 	EngineBuilds, EnginePatches int64
 	RebuildEdges                int64
 	PatchedEdges                int64
+	RelabeledEdges              int64
 	ReusedEdges                 int64
 	PartitionsRebuilt           int64
 	PartitionsReused            int64
+	PartitionsRelabeled         int64
 }
 
 func (w *viewWork) snapshot() ViewWork {
 	return ViewWork{
-		Epochs:            w.epochs.Load(),
-		GraphBuilds:       w.graphBuilds.Load(),
-		GraphPatches:      w.graphPatches.Load(),
-		EngineBuilds:      w.engineBuilds.Load(),
-		EnginePatches:     w.enginePatches.Load(),
-		RebuildEdges:      w.rebuildEdges.Load(),
-		PatchedEdges:      w.patchedEdges.Load(),
-		ReusedEdges:       w.reusedEdges.Load(),
-		PartitionsRebuilt: w.partsRebuilt.Load(),
-		PartitionsReused:  w.partsReused.Load(),
+		Epochs:              w.epochs.Load(),
+		GraphBuilds:         w.graphBuilds.Load(),
+		GraphPatches:        w.graphPatches.Load(),
+		EngineBuilds:        w.engineBuilds.Load(),
+		EnginePatches:       w.enginePatches.Load(),
+		RebuildEdges:        w.rebuildEdges.Load(),
+		PatchedEdges:        w.patchedEdges.Load(),
+		RelabeledEdges:      w.relabelEdges.Load(),
+		ReusedEdges:         w.reusedEdges.Load(),
+		PartitionsRebuilt:   w.partsRebuilt.Load(),
+		PartitionsReused:    w.partsReused.Load(),
+		PartitionsRelabeled: w.partsRelabel.Load(),
 	}
 }
 
@@ -161,27 +181,42 @@ func (d *Dynamic) publish() {
 		if m := d.latestMat.Load(); m != nil && m.anchorID == d.anchorID &&
 			(d.basisView == nil || m.epoch > d.basisView.epoch) {
 			d.sinceAnchor = d.sinceAnchor.Subtract(m.delta)
-			d.sinceAnchor.PlacementChanged = d.inner.PlaceEpoch() != m.placeEpoch
+			d.sinceAnchor.PlacementChanged = d.inner.RenumEpoch() != m.renumEpoch
+			if d.sinceAnchor.PlacementChanged {
+				d.sinceAnchor.Moved = nil
+			} else if len(d.sinceAnchor.Moved) > 0 {
+				// Subtract over-approximates Moved with the union of both
+				// windows; the numbering lineage is intact, so trim it to
+				// the vertices whose position actually differs from m's.
+				cur := d.inner.Ordering().Perm
+				base := m.ord.Perm
+				for w := range d.sinceAnchor.Moved {
+					if cur[w] == base[w] {
+						delete(d.sinceAnchor.Moved, w)
+					}
+				}
+			}
 			d.anchorID++
 			d.basisView = m
 			// m patches from its own basis only while building artifacts it
 			// hasn't built yet; dropping the link bounds the retained chain.
 			m.basis.Store(nil)
 		}
-		if int64(len(d.sinceAnchor.Net)) > d.inner.NumEdges()/4+8192 {
+		if int64(len(d.sinceAnchor.Net))+int64(len(d.sinceAnchor.Moved)) > d.inner.NumEdges()/4+8192 {
 			// No reader has materialized a view for a long stretch; give up
 			// on the stale basis rather than hold an ever-growing delta.
 			d.anchorID++
 			d.basisView = nil
 			d.sinceAnchor = dynamic.ViewDelta{}
 		}
-		if d.basisView != nil && d.basisView.rgp.Load() != nil {
+		if d.basisView != nil &&
+			(d.basisView.rgp.Load() != nil || d.basisView.snapP.Load() != nil) {
 			basis = d.basisView
 		}
 	}
 	v := &View{
 		epoch:      d.inner.Epoch(),
-		placeEpoch: d.inner.PlaceEpoch(),
+		renumEpoch: d.inner.RenumEpoch(),
 		anchorID:   d.anchorID,
 		nverts:     d.inner.NumVertices(),
 		parts:      d.inner.Partitions(),
@@ -197,12 +232,25 @@ func (d *Dynamic) publish() {
 	d.cur.Store(v)
 }
 
-// registerMaterialized records that v built its relabeled graph, making it a
-// basis candidate for future epochs. Keeps the newest such view.
+// registerMaterialized below and the basis tracking in publish treat a view
+// as a patching basis once it built either its relabeled graph or its
+// original-ID snapshot; whichever artifacts the basis actually holds are
+// patched, the rest build from scratch.
+
+// registerMaterialized records that v built a patchable artifact (relabeled
+// graph or snapshot), making it a basis candidate for future epochs. Keeps
+// the newest such view, but never trades a basis holding the relabeled
+// graph for a snapshot-only one: engine patching would silently degrade to
+// scratch builds in workloads that interleave snapshot-only readers with
+// engine readers. (If v builds its relabeled graph later, Reordered
+// re-registers it.)
 func (d *Dynamic) registerMaterialized(v *View) {
 	for {
 		m := d.latestMat.Load()
 		if m != nil && m.epoch >= v.epoch {
+			return
+		}
+		if m != nil && m.rgp.Load() != nil && v.rgp.Load() == nil {
 			return
 		}
 		if d.latestMat.CompareAndSwap(m, v) {
@@ -225,20 +273,64 @@ func (v *View) NumEdges() int64 { return v.frozen.NumEdges() }
 func (v *View) Ordering() *Result { return &Result{inner: v.ord} }
 
 // Snapshot materializes (once, lazily) the view's graph in original vertex
-// IDs. The result is immutable and safe to share.
+// IDs. When the basis view already materialized its snapshot, this view's
+// is patched from it row-wise through the identity ordering — original IDs
+// never change, so snapshot patching works across repair and even rebuild
+// epochs — instead of being materialized from the delta log in O(m). The
+// result is immutable and safe to share.
 func (v *View) Snapshot() *Graph {
 	v.snapOnce.Do(func() {
-		v.snap = v.frozen.Materialize()
+		if b := v.basis.Load(); b != nil {
+			if bs := b.snapP.Load(); bs != nil {
+				adds, dels := v.delta.AddsDels()
+				if s, st, err := bs.PatchEdges(adds, dels); err == nil {
+					v.work.graphPatches.Add(1)
+					v.work.patchedEdges.Add(st.EdgesMerged)
+					v.work.reusedEdges.Add(st.EdgesCopied)
+					v.snapP.Store(s)
+					return
+				}
+				// Unreachable for deltas recorded by the dynamic subsystem;
+				// fall back to a scratch materialization if it ever happens.
+			}
+		}
+		v.snapP.Store(v.frozen.Materialize())
 		v.work.rebuildEdges.Add(v.frozen.NumEdges())
 		v.work.graphBuilds.Add(1)
 	})
-	return v.snap
+	snap := v.snapP.Load()
+	v.d.registerMaterialized(v)
+	return snap
+}
+
+// segPerm returns the segment-local permutation mapping the basis view's
+// new-ID space onto this view's (nil when no vertex moved): identity
+// everywhere except the positions of delta.Moved vertices, whose IDs were
+// exchanged by placement-preserving swap repairs. Valid only while the
+// numbering lineage is intact (!delta.PlacementChanged).
+func (v *View) segPerm(b *View) []VertexID {
+	v.segOnce.Do(func() {
+		if len(v.delta.Moved) == 0 {
+			return
+		}
+		seg := make([]VertexID, v.nverts)
+		for i := range seg {
+			seg[i] = VertexID(i)
+		}
+		for w := range v.delta.Moved {
+			seg[b.ord.Perm[w]] = v.ord.Perm[w]
+		}
+		v.seg = seg
+	})
+	return v.seg
 }
 
 // Reordered returns (building once, lazily) the view's graph relabeled with
 // its VEBO ordering — the graph the cached engines traverse. When the
-// previous materialized view shares the same placement, the graph is patched
-// row-wise from it instead of being rebuilt from a fresh snapshot.
+// previous materialized view shares the same numbering lineage (identical
+// placement, or placement-preserving repairs whose segment-local
+// permutation is known), the graph is patched row-wise from it instead of
+// being rebuilt from a fresh snapshot.
 func (v *View) Reordered() (*Graph, error) {
 	v.rgOnce.Do(func() {
 		if b := v.basis.Load(); b != nil && !v.delta.PlacementChanged {
@@ -247,7 +339,7 @@ func (v *View) Reordered() (*Graph, error) {
 				perm := v.ord.Perm
 				mapEndpoints(adds, perm)
 				mapEndpoints(dels, perm)
-				rg, st, err := brg.PatchEdges(adds, dels)
+				rg, st, err := brg.PatchEdgesPerm(adds, dels, v.segPerm(b))
 				if err == nil {
 					v.work.graphPatches.Add(1)
 					v.work.patchedEdges.Add(st.EdgesMerged)
@@ -298,31 +390,74 @@ func (v *View) transposed() (*Graph, error) {
 	return v.rgT, v.rgTErr
 }
 
+// rangePredicate turns a sorted ID list into a "does [lo, hi) contain any
+// of them" predicate.
+func rangePredicate(ids []VertexID) func(lo, hi VertexID) bool {
+	return func(lo, hi VertexID) bool {
+		i := sort.Search(len(ids), func(i int) bool { return ids[i] >= lo })
+		return i < len(ids) && ids[i] < hi
+	}
+}
+
 // dirtyPredicate reports whether a destination-vertex range owns any edge
-// that changed since the basis view. Destination-partitioned engine
-// structures (COOs, partition metadata, scheduling units) depend only on
-// the in-edges of their range, so the exact dirty set is the net delta's
-// destination endpoints mapped into the view's relabeled space.
+// that changed since the basis view, or contains a vertex repositioned by a
+// placement-preserving repair. Destination-partitioned engine structures
+// (COOs, partition metadata, scheduling units) depend only on the in-edges
+// of their range, so the exact dirty set is the net delta's destination
+// endpoints plus the moved vertices' positions, mapped into the view's
+// relabeled space. (The moved positions form the same set in the basis's
+// space: swaps permute IDs within the set, so flagging the current
+// positions covers both endpoints' stale ranges.)
 func (v *View) dirtyPredicate() func(lo, hi VertexID) bool {
 	v.dirtyOnce.Do(func() {
 		perm := v.ord.Perm
-		seen := make(map[VertexID]struct{}, len(v.delta.Net))
-		dirty := make([]VertexID, 0, len(v.delta.Net))
-		for e := range v.delta.Net {
-			nd := perm[e.Dst]
-			if _, ok := seen[nd]; !ok {
-				seen[nd] = struct{}{}
-				dirty = append(dirty, nd)
+		seen := make(map[VertexID]struct{}, len(v.delta.Net)+len(v.delta.Moved))
+		dirty := make([]VertexID, 0, len(v.delta.Net)+len(v.delta.Moved))
+		add := func(id VertexID) {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				dirty = append(dirty, id)
 			}
 		}
+		for e := range v.delta.Net {
+			add(perm[e.Dst])
+		}
+		for w := range v.delta.Moved {
+			add(perm[w])
+		}
 		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
-		v.dirtyDsts = dirty
+		v.dirtyIDs = dirty
 	})
-	dirty := v.dirtyDsts
-	return func(lo, hi VertexID) bool {
-		i := sort.Search(len(dirty), func(i int) bool { return dirty[i] >= lo })
-		return i < len(dirty) && dirty[i] < hi
-	}
+	return rangePredicate(v.dirtyIDs)
+}
+
+// srcMovedPredicate reports whether a destination-vertex range owns an edge
+// whose source vertex was repositioned since the basis view. Such a range's
+// in-edge content is unchanged, but engine structures that store source IDs
+// (GraphGrind's COOs) hold stale references and must be remapped through
+// the segment permutation. The set is the destinations of the moved
+// vertices' current out-edges; edges they lost since the basis appear in
+// the net delta and dirty their destinations through dirtyPredicate.
+func (v *View) srcMovedPredicate(rg *Graph) func(lo, hi VertexID) bool {
+	v.srcOnce.Do(func() {
+		if len(v.delta.Moved) == 0 {
+			return
+		}
+		perm := v.ord.Perm
+		seen := make(map[VertexID]struct{})
+		var list []VertexID
+		for w := range v.delta.Moved {
+			for _, t := range rg.OutNeighbors(perm[w]) {
+				if _, ok := seen[t]; !ok {
+					seen[t] = struct{}{}
+					list = append(list, t)
+				}
+			}
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		v.srcDirty = list
+	})
+	return rangePredicate(v.srcDirty)
 }
 
 // Engine returns (building once, lazily) the cached engine for the selected
@@ -367,9 +502,12 @@ func (v *View) buildEngine(sys System) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if b := v.basis.Load(); b != nil && !v.delta.PlacementChanged {
+	// Ligra keeps no ID-bearing partitioned state, so its rebind survives
+	// even full renumberings; the partitioned engines patch only while the
+	// numbering lineage is intact (segment-local moves at most).
+	if b := v.basis.Load(); b != nil && (sys == Ligra || !v.delta.PlacementChanged) {
 		if be := b.eng[sys].peek(); be != nil {
-			if e, ok := v.patchEngine(sys, be, rg); ok {
+			if e, ok := v.patchEngine(sys, b, be, rg); ok {
 				return e, nil
 			}
 		}
@@ -396,10 +534,11 @@ func (v *View) buildEngine(sys System) (Engine, error) {
 	}
 }
 
-// patchEngine derives this view's engine from the basis view's by rebuilding
-// only dirty partitions. Reports ok=false to fall back to a scratch build.
-func (v *View) patchEngine(sys System, base Engine, rg *Graph) (Engine, bool) {
-	dirty := v.dirtyPredicate()
+// patchEngine derives this view's engine from the basis view b's by
+// rebuilding only dirty partitions, remapping partitions whose stored
+// source IDs moved, and sharing the rest. Reports ok=false to fall back to
+// a scratch build.
+func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine, bool) {
 	switch sys {
 	case Ligra:
 		le, ok := base.(*ligra.Ligra)
@@ -416,7 +555,7 @@ func (v *View) patchEngine(sys System, base Engine, rg *Graph) (Engine, bool) {
 		if !ok {
 			return nil, false
 		}
-		e, st, err := pe.Patch(rg, dirty)
+		e, st, err := pe.Patch(rg, v.segPerm(b), v.dirtyPredicate())
 		if err != nil {
 			return nil, false
 		}
@@ -427,7 +566,7 @@ func (v *View) patchEngine(sys System, base Engine, rg *Graph) (Engine, bool) {
 		if !ok {
 			return nil, false
 		}
-		e, st, err := ge.Patch(rg, dirty)
+		e, st, err := ge.Patch(rg, v.segPerm(b), v.dirtyPredicate(), v.srcMovedPredicate(rg))
 		if err != nil {
 			return nil, false
 		}
@@ -440,8 +579,10 @@ func (v *View) recordPatch(st engine.PatchStats) {
 	v.work.enginePatches.Add(1)
 	v.work.patchedEdges.Add(st.EdgesRebuilt)
 	v.work.reusedEdges.Add(st.EdgesReused)
+	v.work.relabelEdges.Add(st.EdgesRemapped)
 	v.work.partsRebuilt.Add(int64(st.PartsRebuilt))
 	v.work.partsReused.Add(int64(st.PartsReused))
+	v.work.partsRelabel.Add(int64(st.PartsRemapped))
 }
 
 func (v *View) buildTransposeEngine(sys System) (Engine, error) {

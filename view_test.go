@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 // viewTestOpts keeps view-engine topologies small so tests stay fast.
@@ -328,5 +330,301 @@ func TestViewConcurrentIngestQuery(t *testing.T) {
 	wg.Wait()
 	if w := d.ViewWork(); w.Epochs < 2 {
 		t.Fatalf("expected multiple published epochs, got %d", w.Epochs)
+	}
+}
+
+// bfsLevels converts a parent array (original IDs) into BFS levels, which
+// are deterministic even though parent choice is CAS-race-dependent.
+func bfsLevels(t *testing.T, parents []int32, root VertexID) []int {
+	t.Helper()
+	levels := make([]int, len(parents))
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[root] = 0
+	var walk func(v int) int
+	walk = func(v int) int {
+		if levels[v] >= 0 {
+			return levels[v]
+		}
+		p := int(parents[v])
+		if p < 0 {
+			return -1
+		}
+		lp := walk(p)
+		if lp < 0 {
+			t.Fatalf("vertex %d: parent %d unreached", v, p)
+		}
+		levels[v] = lp + 1
+		return levels[v]
+	}
+	for v := range parents {
+		if parents[v] >= 0 {
+			walk(v)
+		}
+	}
+	return levels
+}
+
+// TestViewPatchedAcrossRepairEpochs is the placement-preserving repair
+// property test: at DEFAULT maintenance thresholds — where swap repairs fire
+// continuously — a reusing Dynamic must produce BFS/CC/BellmanFord results
+// identical to a reuse-disabled Dynamic whose engines are built from scratch
+// on the same epochs, for all three framework models, across at least three
+// repair epochs. This is exactly the configuration that previously never
+// patched (any repair renumbered the vertex space); now repairs are
+// segment-local and the patch paths follow the permutation.
+func TestViewPatchedAcrossRepairEpochs(t *testing.T) {
+	g, updates, err := GenerateStream("powerlaw", 0.03, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DynamicOptions{Partitions: 64, Engine: viewTestOpts}
+	scratchOpts := opts
+	scratchOpts.DisableViewReuse = true
+	dp, err := NewDynamic(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDynamic(g, scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 64
+	repairEpochs := 0
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		rp, err := dp.ApplyBatch(updates[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if rp.Repaired && !rp.Rebuilt {
+			repairEpochs++
+		}
+		vp, vs := dp.View(), ds.View()
+		if vp.Epoch() != vs.Epoch() {
+			t.Fatalf("epoch skew: %d vs %d", vp.Epoch(), vs.Epoch())
+		}
+		root := VertexID(int(updates[lo].Dst) % g.NumVertices())
+		for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+			cp, err := vp.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := vs.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cp {
+				if cp[i] != cs[i] {
+					t.Fatalf("epoch %d %v: patched CC diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, cp[i], cs[i])
+				}
+			}
+			bp, err := vp.BellmanFord(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, err := vs.BellmanFord(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range bp {
+				if bp[i] != bs[i] {
+					t.Fatalf("epoch %d %v: patched BellmanFord diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, bp[i], bs[i])
+				}
+			}
+			pp, err := vp.BFS(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := vs.BFS(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, ls := bfsLevels(t, pp, root), bfsLevels(t, ps, root)
+			for i := range lp {
+				if lp[i] != ls[i] {
+					t.Fatalf("epoch %d %v: patched BFS level diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, lp[i], ls[i])
+				}
+			}
+		}
+	}
+
+	if repairEpochs < 3 {
+		t.Fatalf("only %d repair epochs; the property was not exercised", repairEpochs)
+	}
+	st := dp.Stats()
+	if st.Swaps == 0 || st.FullRebuilds != 0 {
+		t.Fatalf("expected pure swap maintenance, got swaps=%d rebuilds=%d", st.Swaps, st.FullRebuilds)
+	}
+	work := dp.ViewWork()
+	if work.GraphPatches == 0 || work.EnginePatches == 0 {
+		t.Fatalf("default-threshold run never patched: %+v", work)
+	}
+	sw := ds.ViewWork()
+	if sw.GraphPatches != 0 || sw.EnginePatches != 0 {
+		t.Fatalf("DisableViewReuse run patched anyway: %+v", sw)
+	}
+	if work.RebuildEdges+work.PatchedEdges+work.RelabeledEdges >= sw.RebuildEdges {
+		t.Fatalf("patching across repair epochs saved no work: %d+%d+%d vs %d",
+			work.RebuildEdges, work.PatchedEdges, work.RelabeledEdges, sw.RebuildEdges)
+	}
+}
+
+// TestViewSnapshotPatchedMatchesMaterialized checks the snapshot patch
+// path: View.Snapshot() derives from the basis view's snapshot via
+// graph.PatchEdges on the identity ordering instead of materializing from
+// the delta log in O(m), and the result is identical to the materialized
+// snapshot — across repair epochs too, since original IDs never move.
+func TestViewSnapshotPatchedMatchesMaterialized(t *testing.T) {
+	g, updates, err := GenerateStream("orkut", 0.04, 3000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDynamic(g, DynamicOptions{Partitions: 32, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchOpts := DynamicOptions{Partitions: 32, Engine: viewTestOpts, DisableViewReuse: true}
+	ds, err := NewDynamic(g, scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 128
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := dp.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		// Only snapshots are queried, so every patch counted below came
+		// from the snapshot path, not the relabeled graph.
+		sp := dp.View().Snapshot()
+		ss := ds.View().Snapshot()
+		if !graph.Equal(sp, ss) {
+			t.Fatalf("epoch %d: patched snapshot differs from materialized (%d vs %d edges)",
+				dp.View().Epoch(), sp.NumEdges(), ss.NumEdges())
+		}
+	}
+	work := dp.ViewWork()
+	if work.GraphPatches == 0 {
+		t.Fatalf("snapshot path never patched: %+v", work)
+	}
+	if sw := ds.ViewWork(); sw.GraphPatches != 0 {
+		t.Fatalf("DisableViewReuse snapshots patched anyway: %+v", sw)
+	}
+}
+
+// TestViewPatchedAfterRebuildEpoch pins the rebuild→swap window accounting:
+// when a full rebuild (lineage break) and a later swap repair land in the
+// same anchor window, re-anchoring onto a post-rebuild view must not lose
+// the swap — the delta's Moved set survives the merge even though the
+// window's PlacementChanged was true. A uniform-degree stream with the
+// adaptive gate disabled forces rebuilds; interleaved drifting churn then
+// forces swaps right after them.
+func TestViewPatchedAfterRebuildEpoch(t *testing.T) {
+	const n = 600
+	edges := make([]Edge, 0, n*5)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= 5; j++ {
+			edges = append(edges, Edge{Src: VertexID((v + j) % n), Dst: VertexID(v), Weight: 1})
+		}
+	}
+	g, err := FromEdges(n, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic churn: delete an edge, insert one at a shifted dst.
+	// One pass over the vertex space so no edge is deleted twice.
+	var updates []EdgeUpdate
+	for i := 0; i < n; i++ {
+		v := (i * 7) % n
+		updates = append(updates,
+			EdgeUpdate{Src: VertexID((v + 1) % n), Dst: VertexID(v), Del: true},
+			EdgeUpdate{Src: VertexID((v + 1) % n), Dst: VertexID((v + 13) % n)})
+	}
+	opts := DynamicOptions{
+		Partitions:               16,
+		DisableAdaptiveThreshold: true,
+		Engine:                   viewTestOpts,
+	}
+	scratchOpts := opts
+	scratchOpts.DisableViewReuse = true
+	dp, err := NewDynamic(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDynamic(g, scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 50
+	rebuilds, repairs := 0, 0
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		rp, err := dp.ApplyBatch(updates[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if rp.Rebuilt {
+			rebuilds++
+		} else if rp.Repaired {
+			repairs++
+		}
+		vp, vs := dp.View(), ds.View()
+		for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+			cp, err := vp.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := vs.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cp {
+				if cp[i] != cs[i] {
+					t.Fatalf("epoch %d %v: CC diverges at %d after rebuild/swap window (rebuilds so far %d)",
+						vp.Epoch(), sys, i, rebuilds)
+				}
+			}
+			bp, err := vp.BellmanFord(sys, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, err := vs.BellmanFord(sys, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range bp {
+				if bp[i] != bs[i] {
+					t.Fatalf("epoch %d %v: BellmanFord diverges at %d after rebuild/swap window (rebuilds so far %d)",
+						vp.Epoch(), sys, i, rebuilds)
+				}
+			}
+		}
+	}
+	if rebuilds == 0 || repairs == 0 {
+		t.Fatalf("stream exercised rebuilds=%d repairs=%d; need both to pin the window accounting", rebuilds, repairs)
 	}
 }
