@@ -47,6 +47,7 @@ func runStream(args []string) error {
 	parts := fs.Int("p", dynamic.DefaultPartitions, "number of graph partitions maintained live")
 	threshold := fs.Int64("threshold", 0, "Δ(n) maintenance threshold (0: default)")
 	compactEvery := fs.Int("compact", 0, "delta-log compaction bound (0: default)")
+	grow := fs.Float64("grow", 0, "per-insertion vertex-arrival probability (new vertices are admitted on the fly)")
 	seed := fs.Int64("seed", 42, "generator seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +65,8 @@ func runStream(args []string) error {
 		return fmt.Errorf("stream: -p must be at least 1, got %d", *parts)
 	}
 
-	g, updates, err := gen.StreamFromRecipe(*recipe, *scale, *ops, *seed)
+	g, updates, err := gen.StreamFromRecipeOpts(*recipe, *scale, *ops, *seed,
+		gen.RecipeStreamOptions{GrowFrac: *grow})
 	if err != nil {
 		return err
 	}
@@ -74,6 +76,7 @@ func runStream(args []string) error {
 	start := time.Now()
 	d, err := dynamic.New(g, dynamic.Config{
 		Partitions: *parts, RebuildThreshold: *threshold, CompactEvery: *compactEvery,
+		AutoGrow: *grow > 0,
 	})
 	if err != nil {
 		return err
@@ -100,6 +103,9 @@ func runStream(args []string) error {
 		float64(st.Updates)/elapsed.Seconds())
 	fmt.Printf("maintenance: %d repairs (%d vertices), %d full rebuilds, %d compactions\n",
 		st.Repairs, st.RepairedVertices, st.FullRebuilds, st.Compactions)
+	if st.Admitted > 0 {
+		fmt.Printf("admitted %d vertices (n now %d)\n", st.Admitted, d.NumVertices())
+	}
 	fmt.Printf("final Δ(n)=%d δ(n)=%d, live edges %d\n",
 		d.EdgeImbalance(), d.VertexImbalance(), d.NumEdges())
 
@@ -131,6 +137,7 @@ func runServe(args []string) error {
 	threshold := fs.Int64("threshold", 0, "Δ(n) maintenance threshold (0: default, scaled adaptively with the degree spread)")
 	vthreshold := fs.Int64("vthreshold", 0, "δ(n) maintenance threshold (0: default)")
 	repairMode := fs.String("repair", "preserve", "maintenance strategy: preserve (segment-local swaps, engines stay patchable) or replace (legacy greedy re-placement)")
+	grow := fs.Float64("grow", 0, "per-insertion vertex-arrival probability (new vertices are admitted on the fly)")
 	noreuse := fs.Bool("noreuse", false, "rebuild engines from scratch every epoch instead of patching")
 	pace := fs.Duration("pace", 0, "delay between ingestion batches (0: ingest at full speed)")
 	seed := fs.Int64("seed", 42, "generator seed")
@@ -169,7 +176,8 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: unknown repair mode %q (preserve or replace)", *repairMode)
 	}
 
-	g, updates, err := gen.StreamFromRecipe(*recipe, *scale, *ops, *seed)
+	g, updates, err := gen.StreamFromRecipeOpts(*recipe, *scale, *ops, *seed,
+		gen.RecipeStreamOptions{GrowFrac: *grow})
 	if err != nil {
 		return err
 	}
@@ -181,6 +189,7 @@ func runServe(args []string) error {
 		RebuildThreshold:       *threshold,
 		VertexRebuildThreshold: *vthreshold,
 		Repair:                 repair,
+		AutoGrow:               *grow > 0,
 		DisableViewReuse:       *noreuse,
 	})
 	if err != nil {
@@ -272,8 +281,11 @@ func runServe(args []string) error {
 	fmt.Printf("construction edges: %d rebuilt, %d patched, %d relabeled, %d reused\n",
 		work.RebuildEdges, work.PatchedEdges, work.RelabeledEdges, work.ReusedEdges)
 	st := d.Stats()
-	fmt.Printf("maintenance: %d repairs (%d swaps), %d full rebuilds\n",
-		st.Repairs, st.Swaps, st.FullRebuilds)
+	fmt.Printf("maintenance: %d repairs (%d swaps, %d rotations), %d segment re-sorts, %d full rebuilds\n",
+		st.Repairs, st.Swaps, st.Rotations, st.Resorts, st.FullRebuilds)
+	if st.Admitted > 0 {
+		fmt.Printf("admitted %d vertices (n now %d)\n", st.Admitted, d.NumVertices())
+	}
 	edge, vert := d.Imbalance()
 	fmt.Printf("final Δ(n)=%d δ(n)=%d over %d partitions\n", edge, vert, *parts)
 	return nil

@@ -1,0 +1,338 @@
+package vebo
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestViewPatchedAcrossGrowthEpochs is the growth acceptance property: a
+// stream interleaving vertex arrivals with edge churn is replayed through
+// two facades — engine reuse on (views patch across repair AND growth
+// epochs) versus DisableViewReuse (every view rebuilds from scratch) — and
+// BFS, CC and BellmanFord must agree exactly on every epoch for all three
+// framework models, across at least three epochs that each admit vertices.
+func TestViewPatchedAcrossGrowthEpochs(t *testing.T) {
+	g, updates, err := GenerateStreamOpts("powerlaw", 0.03, 4000, 7, StreamOptions{GrowFrac: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DynamicOptions{Partitions: 64, AutoGrow: true, Engine: viewTestOpts}
+	scratchOpts := opts
+	scratchOpts.DisableViewReuse = true
+	dp, err := NewDynamic(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDynamic(g, scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 64
+	growthEpochs := 0
+	n := g.NumVertices()
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		rp, err := dp.ApplyBatch(updates[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ds.ApplyBatch(updates[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Admitted != rs.Admitted {
+			t.Fatalf("admission skew: %d vs %d", rp.Admitted, rs.Admitted)
+		}
+		if rp.Admitted > 0 {
+			growthEpochs++
+		}
+		vp, vs := dp.View(), ds.View()
+		if vp.NumVertices() != vs.NumVertices() {
+			t.Fatalf("vertex count skew: %d vs %d", vp.NumVertices(), vs.NumVertices())
+		}
+		// Root from the batch so traversals reach fresh structure; results
+		// are indexed by original ID, so arrays extend epoch over epoch.
+		root := VertexID(int(updates[lo].Dst) % n)
+		for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+			cp, err := vp.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := vs.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cp) != vp.NumVertices() {
+				t.Fatalf("CC result length %d != n %d", len(cp), vp.NumVertices())
+			}
+			for i := range cp {
+				if cp[i] != cs[i] {
+					t.Fatalf("epoch %d %v: patched CC diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, cp[i], cs[i])
+				}
+			}
+			bp, err := vp.BellmanFord(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, err := vs.BellmanFord(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range bp {
+				if bp[i] != bs[i] {
+					t.Fatalf("epoch %d %v: patched BellmanFord diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, bp[i], bs[i])
+				}
+			}
+			pp, err := vp.BFS(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := vs.BFS(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, ls := bfsLevels(t, pp, root), bfsLevels(t, ps, root)
+			for i := range lp {
+				if lp[i] != ls[i] {
+					t.Fatalf("epoch %d %v: patched BFS level diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, lp[i], ls[i])
+				}
+			}
+		}
+	}
+
+	if growthEpochs < 3 {
+		t.Fatalf("only %d growth epochs; the property was not exercised", growthEpochs)
+	}
+	if dp.NumVertices() == n {
+		t.Fatal("stream admitted no vertices")
+	}
+	work := dp.ViewWork()
+	if work.GraphPatches == 0 || work.EnginePatches == 0 {
+		t.Fatalf("growth run never patched: %+v", work)
+	}
+	sw := ds.ViewWork()
+	if work.RebuildEdges+work.PatchedEdges+work.RelabeledEdges >= sw.RebuildEdges {
+		t.Fatalf("patching across growth epochs saved no work: %d+%d+%d vs %d",
+			work.RebuildEdges, work.PatchedEdges, work.RelabeledEdges, sw.RebuildEdges)
+	}
+}
+
+// TestViewSnapshotPatchedAcrossGrowth checks the identity-ordering snapshot
+// patch path over a growing vertex space: a patched snapshot equals the
+// scratch materialization at every epoch.
+func TestViewSnapshotPatchedAcrossGrowth(t *testing.T) {
+	g, updates, err := GenerateStreamOpts("powerlaw", 0.03, 2000, 29, StreamOptions{GrowFrac: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDynamic(g, DynamicOptions{Partitions: 32, AutoGrow: true, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 128
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := dp.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		v := dp.View()
+		snap := v.Snapshot()
+		if snap.NumVertices() != v.NumVertices() {
+			t.Fatalf("snapshot has %d vertices, view %d", snap.NumVertices(), v.NumVertices())
+		}
+		want, err := FromEdges(v.NumVertices(), snap.Edges(), snap.Weighted())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.Equal(snap, want) {
+			t.Fatalf("epoch %d: patched snapshot is not canonical", v.Epoch())
+		}
+	}
+	if dp.ViewWork().GraphPatches == 0 {
+		t.Fatal("snapshot never took the patch path")
+	}
+}
+
+// TestIngestBatchExternalIDs drives the external-ID ingest path: sparse
+// 64-bit IDs are interned onto dense internal IDs, unseen vertices are
+// admitted, views expose the mapping, and results keep their external
+// keying across growth epochs.
+func TestIngestBatchExternalIDs(t *testing.T) {
+	g, err := Generate("powerlaw", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(g.NumVertices())
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse externals far outside the dense range.
+	extA, extB := uint64(1)<<40+17, uint64(1)<<50+99
+	res, err := d.IngestBatch([]ExternalEdgeUpdate{
+		{Src: extA, Dst: 3},    // new source, existing (identity) destination
+		{Src: 3, Dst: extB},    // new destination
+		{Src: extA, Dst: extB}, // both already interned now
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted != 2 {
+		t.Fatalf("admitted %d, want 2", res.Admitted)
+	}
+	v := d.View()
+	if v.NumVertices() != int(n)+2 {
+		t.Fatalf("view has %d vertices, want %d", v.NumVertices(), n+2)
+	}
+	ia, ok := v.Resolve(extA)
+	if !ok || uint64(ia) != n {
+		t.Fatalf("Resolve(%d)=%d,%v want %d", extA, ia, ok, n)
+	}
+	ib, ok := v.Resolve(extB)
+	if !ok || uint64(ib) != n+1 {
+		t.Fatalf("Resolve(%d)=%d,%v want %d", extB, ib, ok, n+1)
+	}
+	if ext, ok := v.External(ia); !ok || ext != extA {
+		t.Fatalf("External(%d)=%d,%v want %d", ia, ext, ok, extA)
+	}
+	if ext, ok := v.External(2); !ok || ext != 2 {
+		t.Fatalf("identity seed broken: External(2)=%d,%v", ext, ok)
+	}
+	exts := v.ExternalIDs()
+	if len(exts) != v.NumVertices() || exts[ia] != extA || exts[ib] != extB {
+		t.Fatalf("ExternalIDs table wrong: len=%d", len(exts))
+	}
+	// The graph actually contains the ingested edges.
+	snap := v.Snapshot()
+	if !snap.HasEdge(ia, 3) || !snap.HasEdge(3, ib) || !snap.HasEdge(ia, ib) {
+		t.Fatal("ingested edges missing from snapshot")
+	}
+	// Deletion through externals; unknown externals fail without admitting.
+	if _, err := d.IngestBatch([]ExternalEdgeUpdate{{Src: extA, Dst: 3, Del: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.View().Snapshot().HasEdge(ia, 3) {
+		t.Fatal("external deletion did not land")
+	}
+	nBefore := d.NumVertices()
+	if _, err := d.IngestBatch([]ExternalEdgeUpdate{{Src: 1 << 60, Dst: 3, Del: true}}); err == nil {
+		t.Fatal("expected error deleting through an unknown external")
+	}
+	if d.NumVertices() != nBefore {
+		t.Fatalf("failed deletion admitted vertices: %d -> %d", nBefore, d.NumVertices())
+	}
+	// Algorithm results stay keyed position-for-position: a vertex's CC
+	// label index equals its internal ID, whose external key never moves.
+	labels, err := d.View().CC(GraphGrind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != d.NumVertices() {
+		t.Fatalf("CC length %d != n %d", len(labels), d.NumVertices())
+	}
+	// extB is reachable from vertex 3 (edge 3→extB survives), so label
+	// propagation pulls it into 3's component.
+	if labels[ib] != labels[3] {
+		t.Fatalf("reachable external in a different component: %d vs %d", labels[ib], labels[3])
+	}
+	// An old view keeps its shorter epoch: Resolve of a later-interned
+	// external must fail on it.
+	old := d.View()
+	if _, err := d.IngestBatch([]ExternalEdgeUpdate{{Src: 1<<45 + 5, Dst: extA}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := old.Resolve(1<<45 + 5); ok {
+		t.Fatal("old view resolved an external interned after its epoch")
+	}
+	if _, ok := d.View().Resolve(1<<45 + 5); !ok {
+		t.Fatal("new view cannot resolve the fresh external")
+	}
+}
+
+// TestIngestBatchRejectsMixedAdmission pins the admission-path exclusivity:
+// a vertex admitted by dense AutoGrow has no external ID, so a later
+// IngestBatch must refuse rather than hand its internal ID to a fresh
+// external.
+func TestIngestBatchRejectsMixedAdmission(t *testing.T) {
+	g, err := Generate("powerlaw", 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16, AutoGrow: true, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.IngestBatch([]ExternalEdgeUpdate{{Src: 1 << 40, Dst: 0}}); err != nil {
+		t.Fatalf("first ingest should succeed: %v", err)
+	}
+	n := graph.VertexID(d.NumVertices())
+	if _, err := d.ApplyBatch([]EdgeUpdate{{Src: n, Dst: 0}}); err != nil {
+		t.Fatalf("dense AutoGrow admission failed: %v", err)
+	}
+	if _, err := d.IngestBatch([]ExternalEdgeUpdate{{Src: 1 << 41, Dst: 0}}); err == nil {
+		t.Fatal("expected mixed-admission error")
+	}
+}
+
+// TestIngestBatchConcurrentResolve races reader-side Resolve/External
+// against writer-side external ingest (meaningful under -race): views
+// published before the first IngestBatch must answer safely while the
+// allocator is being installed and grown.
+func TestIngestBatchConcurrentResolve(t *testing.T) {
+	g, err := Generate("powerlaw", 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := d.View() // predates the allocator
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ext := 1<<42 + i%200
+				if id, ok := pre.Resolve(ext); ok && int(id) >= pre.NumVertices() {
+					t.Errorf("pre-ingest view resolved %d to out-of-epoch id %d", ext, id)
+					return
+				}
+				v := d.View()
+				if id, ok := v.Resolve(ext); ok {
+					if back, ok2 := v.External(id); !ok2 || back != ext {
+						t.Errorf("round trip broke for %d", ext)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := uint64(0); i < 200; i++ {
+		if _, err := d.IngestBatch([]ExternalEdgeUpdate{{Src: 1<<42 + i, Dst: i % 100}}); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+}

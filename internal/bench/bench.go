@@ -67,7 +67,7 @@ func (c Config) WithDefaults() Config {
 
 // Experiments lists the available experiment names in paper order.
 func Experiments() []string {
-	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners", "dynamic", "view"}
+	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners", "dynamic", "view", "grow"}
 }
 
 // Run executes the named experiment ("all" runs every one).
@@ -98,6 +98,8 @@ func Run(name string, cfg Config) error {
 		return Dynamic(cfg)
 	case "view":
 		return View(cfg)
+	case "grow":
+		return Grow(cfg)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, cfg); err != nil {

@@ -27,8 +27,23 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 12 {
+	if len(Experiments()) != 13 {
 		t.Fatalf("experiment count = %d", len(Experiments()))
+	}
+}
+
+func TestGrowSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Quick = true
+	if err := Run("grow", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"vertex arrivals", "patched", "rebuild", "maintained", "work ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

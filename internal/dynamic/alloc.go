@@ -1,0 +1,91 @@
+package dynamic
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Allocator maps sparse, application-chosen external vertex IDs onto the
+// dense internal ID space the dynamic subsystem and the engines work in.
+// Internal IDs are allocated in arrival order and never reused or reshuffled,
+// so the internal space is append-only: a view pinned to an epoch with n
+// vertices addresses exactly the first n allocations, and result arrays of
+// later (larger) epochs extend earlier ones position-for-position.
+//
+// Intern is writer-side (the goroutine applying batches); Lookup, External
+// and Externals may run concurrently from any number of reader goroutines.
+type Allocator struct {
+	mu       sync.RWMutex
+	extToInt map[uint64]graph.VertexID
+	intToExt []uint64
+}
+
+// NewAllocator returns an empty allocator.
+func NewAllocator() *Allocator {
+	return &Allocator{extToInt: make(map[uint64]graph.VertexID)}
+}
+
+// SeedIdentity registers the externals 0..n-1 as their own internal IDs, the
+// convention for graphs that were constructed with dense IDs before external
+// ingest began. It is a no-op for already-registered externals.
+func (a *Allocator) SeedIdentity(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.intToExt); i < n; i++ {
+		a.extToInt[uint64(i)] = graph.VertexID(i)
+		a.intToExt = append(a.intToExt, uint64(i))
+	}
+}
+
+// Len reports the number of allocated internal IDs.
+func (a *Allocator) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.intToExt)
+}
+
+// Intern returns the internal ID of ext, allocating the next dense ID when
+// ext was never seen before; isNew reports an allocation.
+func (a *Allocator) Intern(ext uint64) (id graph.VertexID, isNew bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id, ok := a.extToInt[ext]; ok {
+		return id, false
+	}
+	id = graph.VertexID(len(a.intToExt))
+	a.extToInt[ext] = id
+	a.intToExt = append(a.intToExt, ext)
+	return id, true
+}
+
+// Lookup resolves ext without allocating.
+func (a *Allocator) Lookup(ext uint64) (graph.VertexID, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	id, ok := a.extToInt[ext]
+	return id, ok
+}
+
+// External returns the external ID of internal v.
+func (a *Allocator) External(v graph.VertexID) (uint64, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if int(v) >= len(a.intToExt) {
+		return 0, false
+	}
+	return a.intToExt[v], true
+}
+
+// Externals returns the first n allocations as an immutable internal→external
+// slice. The returned slice aliases the allocator's append-only storage (a
+// later append may copy to a fresh array, never rewrite the prefix), so it is
+// safe to retain and read concurrently with further Intern calls.
+func (a *Allocator) Externals(n int) []uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if n > len(a.intToExt) {
+		n = len(a.intToExt)
+	}
+	return a.intToExt[:n:n]
+}

@@ -1,0 +1,142 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestAllocatorRoundTrip drives random intern/lookup traffic and checks the
+// external↔internal mapping is a bijection over everything seen: internal
+// IDs are dense and allocated in first-arrival order, and both directions
+// agree at every step.
+func TestAllocatorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := NewAllocator()
+	ref := make(map[uint64]graph.VertexID)
+	var order []uint64
+	for step := 0; step < 20000; step++ {
+		var ext uint64
+		if len(order) > 0 && rng.Intn(2) == 0 {
+			ext = order[rng.Intn(len(order))] // revisit a known external
+		} else {
+			ext = rng.Uint64() >> uint(rng.Intn(40)) // mix dense and sparse
+		}
+		id, isNew := a.Intern(ext)
+		want, seen := ref[ext]
+		if seen != !isNew {
+			t.Fatalf("step %d: ext %d isNew=%v but seen=%v", step, ext, isNew, seen)
+		}
+		if seen && id != want {
+			t.Fatalf("step %d: ext %d interned to %d, previously %d", step, ext, id, want)
+		}
+		if !seen {
+			if int(id) != len(order) {
+				t.Fatalf("step %d: new ext %d got id %d, want dense %d", step, ext, id, len(order))
+			}
+			ref[ext] = id
+			order = append(order, ext)
+		}
+		if got, ok := a.Lookup(ext); !ok || got != ref[ext] {
+			t.Fatalf("step %d: Lookup(%d)=%d,%v want %d", step, ext, got, ok, ref[ext])
+		}
+		if back, ok := a.External(ref[ext]); !ok || back != ext {
+			t.Fatalf("step %d: External(%d)=%d,%v want %d", step, ref[ext], back, ok, ext)
+		}
+	}
+	if a.Len() != len(order) {
+		t.Fatalf("Len=%d, want %d", a.Len(), len(order))
+	}
+	exts := a.Externals(a.Len())
+	for i, ext := range exts {
+		if order[i] != ext {
+			t.Fatalf("Externals[%d]=%d, want arrival-order %d", i, ext, order[i])
+		}
+	}
+	// A snapshot taken now must be unaffected by later interning.
+	prefix := a.Externals(10)
+	a.Intern(rng.Uint64() | 1<<63)
+	for i, ext := range prefix {
+		if ext != order[i] {
+			t.Fatalf("prefix snapshot mutated at %d", i)
+		}
+	}
+}
+
+// FuzzAllocatorRoundTrip fuzzes single external IDs through the
+// intern→lookup→external cycle.
+func FuzzAllocatorRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << 63)
+	f.Add(uint64(42))
+	a := NewAllocator()
+	f.Fuzz(func(t *testing.T, ext uint64) {
+		id, _ := a.Intern(ext)
+		id2, isNew := a.Intern(ext)
+		if isNew || id2 != id {
+			t.Fatalf("re-intern of %d not idempotent: %d vs %d", ext, id, id2)
+		}
+		got, ok := a.Lookup(ext)
+		if !ok || got != id {
+			t.Fatalf("Lookup(%d)=%d,%v want %d", ext, got, ok, id)
+		}
+		back, ok := a.External(id)
+		if !ok || back != ext {
+			t.Fatalf("External(%d)=%d,%v want %d", id, back, ok, ext)
+		}
+	})
+}
+
+// TestAllocatorSeedIdentity checks the dense-prefix convention used when a
+// graph predates external ingest.
+func TestAllocatorSeedIdentity(t *testing.T) {
+	a := NewAllocator()
+	a.SeedIdentity(4)
+	for i := uint64(0); i < 4; i++ {
+		if id, ok := a.Lookup(i); !ok || uint64(id) != i {
+			t.Fatalf("Lookup(%d)=%d,%v want identity", i, id, ok)
+		}
+	}
+	if id, _ := a.Intern(100); id != 4 {
+		t.Fatalf("post-seed intern got %d, want 4", id)
+	}
+	a.SeedIdentity(3) // no-op: already longer
+	if a.Len() != 5 {
+		t.Fatalf("Len=%d, want 5", a.Len())
+	}
+}
+
+// TestAllocatorConcurrentReaders exercises Lookup/External/Externals racing
+// with writer-side interning (run with -race).
+func TestAllocatorConcurrentReaders(t *testing.T) {
+	a := NewAllocator()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if id, ok := a.Lookup(i % 1000); ok {
+					if ext, ok2 := a.External(id); !ok2 || ext != i%1000 {
+						t.Errorf("reader %d: round trip broke for %d", r, i%1000)
+						return
+					}
+				}
+				_ = a.Externals(a.Len())
+			}
+		}(r)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		a.Intern(i)
+	}
+	close(done)
+	wg.Wait()
+}

@@ -25,23 +25,36 @@
 //     partition trades places — partition AND new ID — with a lower-degree
 //     vertex of the least-loaded one, so per-partition vertex counts, the
 //     segment boundaries of the ordering, and the new IDs of every unmoved
-//     vertex are all invariant. The legacy RepairReplace re-runs the paper's
-//     Algorithm 2 greedy placement over the vertices whose in-degree class
-//     changed (O(k log k + kP) for k dirty vertices), followed by a
-//     vertex-balance pass; it reaches slightly tighter balance but
-//     renumbers the whole ordering. Either way, if the repair cannot pull
-//     the imbalances back under their thresholds the subsystem falls back
-//     to a full core.ReorderDegrees rebuild.
+//     vertex are all invariant. When no improving pair exists, a three-way
+//     rotation through an intermediate partition is tried before giving up.
+//     The legacy RepairReplace re-runs the paper's Algorithm 2 greedy
+//     placement over the vertices whose in-degree class changed
+//     (O(k log k + kP) for k dirty vertices), followed by a vertex-balance
+//     pass; it reaches slightly tighter balance but renumbers the whole
+//     ordering. Either way, if the repair cannot pull the imbalances back
+//     under their thresholds the subsystem falls back to a full
+//     core.ReorderDegrees rebuild. A background re-sort additionally
+//     restores the degree-descending order inside one partition segment
+//     after each batch whose repairs or admissions disturbed it.
+//
+//   - A growable vertex space. Grow (and AutoGrow, for dense-ID streams;
+//     see Allocator for sparse external IDs) admits zero-degree vertices to
+//     the least-vertex partitions, extending each partition's segment at
+//     its tail: internal IDs are append-only, the cached ordering is
+//     updated copy-on-write with every later segment shifted up, and the
+//     numbering lineage (RenumEpoch) is preserved, so engine-side patching
+//     survives growth.
 //
 //   - View-delta tracking. Between drains (one per published facade view)
 //     the subsystem records the net resolved edge changes, the set of
-//     vertices repositioned by placement-preserving swaps (Moved), and
+//     vertices repositioned by placement-preserving swaps, rotations and
+//     re-sorts (Moved), the per-partition admission counts (Grown), and
 //     whether the whole numbering was invalidated (PlacementChanged). The
 //     facade derives the exact set of dirty partitions from the delta's
-//     destination endpoints plus the moved positions, builds the
-//     segment-local permutation from the two epochs' orderings, and patches
-//     engine-side structures for unchanged partitions instead of rebuilding
-//     them (see the vebo.View API).
+//     destination endpoints plus the moved and admitted positions, builds
+//     the segment-local injection from the two epochs' orderings, and
+//     patches engine-side structures for unchanged partitions instead of
+//     rebuilding them (see the vebo.View API).
 //
 // See DESIGN.md §5 for how this subsystem fits the rest of the system.
 package dynamic
@@ -109,6 +122,17 @@ type Config struct {
 	// graphs (usaroad) a fixed threshold below that granularity forces a
 	// futile full rebuild every batch. Exists for the adaptivity ablation.
 	DisableAdaptiveThreshold bool
+	// AutoGrow admits vertices on demand: an insertion whose endpoint is at
+	// or beyond the current vertex count grows the vertex space (via Grow)
+	// up to that endpoint instead of failing the batch. Internal IDs are
+	// dense, so callers feeding sparse external IDs should map them through
+	// an Allocator first; deletions never grow.
+	AutoGrow bool
+	// DisableSegmentResort turns off the background segment re-sort that
+	// restores degree-descending order inside one partition segment after
+	// batches whose repairs or admissions disturbed it (RepairPreserve
+	// only). Exists for the locality-decay ablation.
+	DisableSegmentResort bool
 }
 
 // DefaultPartitions is the default VEBO partition count for dynamic graphs,
@@ -164,6 +188,16 @@ type Stats struct {
 	// Swaps is the number of placement-preserving vertex pair exchanges
 	// performed by RepairPreserve passes.
 	Swaps int64
+	// Rotations is the number of three-way placement-preserving exchanges
+	// performed when no improving pair swap existed.
+	Rotations int64
+	// Admitted is the number of vertices added to the graph after
+	// construction (Grow and AutoGrow admissions).
+	Admitted int64
+	// Resorts is the number of background segment re-sort passes that moved
+	// at least one vertex; ResortedVertices counts the moved vertices.
+	Resorts          int64
+	ResortedVertices int64
 	// VertexMoves is the number of single-vertex moves performed by the
 	// δ(n) vertex-balance repair.
 	VertexMoves int64
@@ -176,7 +210,9 @@ type Stats struct {
 
 // BatchResult reports what one ApplyBatch call did.
 type BatchResult struct {
-	Applied         int
+	Applied int
+	// Admitted is the number of vertices auto-admitted by this batch.
+	Admitted        int
 	Repaired        bool
 	Rebuilt         bool
 	Compacted       bool
@@ -266,9 +302,18 @@ type Graph struct {
 	// almost every batch.
 	members [][]graph.VertexID
 
+	// resortNext is the round-robin cursor of the background segment
+	// re-sort; resortPending records that admissions landed since the last
+	// re-sort opportunity (Grow may run outside a batch — the facade's
+	// external ingest admits before applying — so the batch result alone
+	// cannot see them).
+	resortNext    int
+	resortPending bool
+
 	// View-delta accumulators, drained by DrainViewDelta.
 	viewNet   map[graph.Edge]int64
 	viewMoved map[graph.VertexID]struct{}
+	viewGrow  []int64
 	viewPlace bool
 }
 
@@ -305,7 +350,9 @@ func New(g *graph.Graph, cfg Config) (*Graph, error) {
 	return d, nil
 }
 
-// NumVertices reports the (fixed) vertex count.
+// NumVertices reports the current vertex count; Grow and AutoGrow
+// admissions raise it, and internal IDs are append-only (an ID, once
+// assigned, always names the same vertex).
 func (d *Graph) NumVertices() int { return d.n }
 
 // NumEdges reports the number of live edges (base − pending deletions +
@@ -366,8 +413,12 @@ func (d *Graph) EffectiveRebuildThreshold() int64 { return d.effEdgeThreshold() 
 func (d *Graph) PendingOps() int64 { return int64(len(d.pendingAdd)) + d.pendingDels }
 
 // baseMultiplicity counts edge (s,d) occurrences in the base graph via
-// binary search over s's sorted out-neighbour list.
+// binary search over s's sorted out-neighbour list. Vertices admitted after
+// the base was compacted have no base row.
 func (d *Graph) baseMultiplicity(s, dst graph.VertexID) int64 {
+	if int(s) >= d.base.NumVertices() {
+		return 0
+	}
 	nbrs := d.base.OutNeighbors(s)
 	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
 	var c int64
@@ -379,6 +430,9 @@ func (d *Graph) baseMultiplicity(s, dst graph.VertexID) int64 {
 
 // baseMultiplicityW counts base occurrences of (s,d) with exactly weight w.
 func (d *Graph) baseMultiplicityW(s, dst graph.VertexID, w int32) int64 {
+	if int(s) >= d.base.NumVertices() {
+		return 0
+	}
 	nbrs := d.base.OutNeighbors(s)
 	ws := d.base.OutWeights(s)
 	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
@@ -412,11 +466,38 @@ func (d *Graph) normWeight(w int32) int32 {
 
 // ApplyBatch applies the updates in order, maintains the per-partition
 // counters, and runs the threshold-gated ordering maintenance once at the
-// end of the batch. An invalid update (vertex out of range, deletion of a
-// non-existent edge) stops processing and returns an error; updates before
-// it remain applied.
+// end of the batch. An invalid update (vertex out of range without
+// AutoGrow, deletion of a non-existent edge) stops processing and returns
+// an error; updates before it remain applied. With AutoGrow, insertions
+// mentioning endpoints at or beyond the current vertex count admit the
+// missing dense IDs as zero-degree vertices (see Grow) at the start of the
+// batch — one Grow call covers every arrival, and the admissions stand
+// like any applied update even if a later update aborts the batch.
 func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
 	var res BatchResult
+	if d.cfg.AutoGrow {
+		// Admit for the whole batch up front: Grow copies the cached
+		// ordering (O(n)), so one call must cover every arrival in the
+		// batch rather than paying the copy per out-of-range update. The
+		// admissions stand even if a later update aborts the batch, like
+		// any update applied before the failure.
+		mx := d.n - 1
+		for _, u := range updates {
+			if u.Del {
+				continue
+			}
+			if int(u.Src) > mx {
+				mx = int(u.Src)
+			}
+			if int(u.Dst) > mx {
+				mx = int(u.Dst)
+			}
+		}
+		if k := mx + 1 - d.n; k > 0 {
+			d.Grow(k)
+			res.Admitted += k
+		}
+	}
 	for i, u := range updates {
 		if int(u.Src) >= d.n || int(u.Dst) >= d.n {
 			return d.finishBatch(res), fmt.Errorf("dynamic: update %d: edge (%d,%d) out of range n=%d", i, u.Src, u.Dst, d.n)
@@ -502,6 +583,7 @@ func (d *Graph) refreshGranularity() {
 
 // finishBatch runs the end-of-batch maintenance and fills the result.
 func (d *Graph) finishBatch(res BatchResult) BatchResult {
+	preMoves := d.stats.Swaps + d.stats.Rotations
 	if d.overThreshold() {
 		if d.cfg.Repair == RepairPreserve {
 			d.swapRepair()
@@ -514,6 +596,14 @@ func (d *Graph) finishBatch(res BatchResult) BatchResult {
 			res.Rebuilt = true
 		}
 	}
+	// Swaps, rotations and tail-appended admissions all decay the
+	// degree-descending order inside segments; re-sort one segment per
+	// disturbing batch. A rebuild just re-established the order everywhere.
+	if !res.Rebuilt && d.cfg.Repair == RepairPreserve && !d.cfg.DisableSegmentResort &&
+		(d.resortPending || d.stats.Swaps+d.stats.Rotations > preMoves) {
+		d.resortSegment()
+	}
+	d.resortPending = false
 	if d.PendingOps() >= d.compactBound() {
 		d.Compact()
 		res.Compacted = true
@@ -521,6 +611,134 @@ func (d *Graph) finishBatch(res BatchResult) BatchResult {
 	res.EdgeImbalance = d.EdgeImbalance()
 	res.VertexImbalance = d.VertexImbalance()
 	return res
+}
+
+// Grow admits count new zero-degree vertices, returning the first new
+// internal ID (they are assigned densely: first, first+1, …). Each admitted
+// vertex goes to the partition currently holding the fewest vertices —
+// Algorithm 1's least-loaded-bin rule applied incrementally, the same rule
+// phase 2 uses for zero-degree vertices — and extends that partition's
+// segment at its tail: the cached ordering is updated copy-on-write with
+// every later segment shifted up by the insertions before it, so the old
+// epoch's ordering maps into the new one by a per-partition shift (plus the
+// identity inside segments), which is what keeps engine-side structures
+// patchable across growth epochs. The per-partition admission counts are
+// accumulated into the view delta's growth vector.
+func (d *Graph) Grow(count int) graph.VertexID {
+	first := graph.VertexID(d.n)
+	if count <= 0 {
+		return first
+	}
+	d.ensureOrdering()
+	p := d.cfg.Partitions
+	// Old segment boundaries in the new-ID space, derived from the
+	// per-partition vertex counts the ordering was built with.
+	bounds := make([]int64, p+1)
+	for q := 0; q < p; q++ {
+		bounds[q+1] = bounds[q] + d.partVerts[q]
+	}
+	grow := make([]int64, p)
+	assigned := make([]uint32, count)
+	for i := 0; i < count; i++ {
+		q := argMin2(d.partVerts, d.partEdges)
+		assigned[i] = uint32(q)
+		d.partVerts[q]++
+		grow[q]++
+	}
+	// shift[q] = number of slots inserted before partition q's segment.
+	shift := make([]int64, p)
+	var cum int64
+	for q := 0; q < p; q++ {
+		shift[q] = cum
+		cum += grow[q]
+	}
+	perm := make([]graph.VertexID, d.n+count)
+	partOf := make([]uint32, d.n+count)
+	copy(partOf, d.ordPartOf)
+	copy(partOf[d.n:], assigned)
+	for v := 0; v < d.n; v++ {
+		perm[v] = d.ordPerm[v] + graph.VertexID(shift[d.ordPartOf[v]])
+	}
+	next := make([]int64, p)
+	for i, q := range assigned {
+		perm[d.n+i] = graph.VertexID(bounds[q+1] + shift[q] + next[q])
+		next[q]++
+	}
+	d.ordPerm, d.ordPartOf = perm, partOf
+	d.assign = append(d.assign, assigned...)
+	d.degIn = append(d.degIn, make([]int64, count)...)
+	if d.members != nil {
+		for i, q := range assigned {
+			d.members[q] = append(d.members[q], graph.VertexID(d.n+i))
+		}
+	}
+	d.n += count
+	d.placeEpoch++
+	d.ordPlace = d.placeEpoch
+	if d.viewGrow == nil {
+		d.viewGrow = make([]int64, p)
+	}
+	for q, c := range grow {
+		d.viewGrow[q] += c
+	}
+	d.stats.Admitted += int64(count)
+	d.stats.Placements += int64(count)
+	d.resortPending = true
+	d.touch()
+	return first
+}
+
+// resortSegment restores the degree-descending (ID-ascending on ties) order
+// phase 3 establishes inside one partition's segment, advancing a
+// round-robin cursor one partition per call. Preserve-mode swaps park a
+// moved vertex at its partner's old position and admissions append at the
+// tail, so segments slowly lose the layout that gives dense traversal its
+// locality; the re-sort is a segment-local permutation — exactly the shape
+// the engine patch paths already handle — recorded in the view delta's
+// moved set like any swap.
+func (d *Graph) resortSegment() {
+	d.ensureOrdering()
+	d.ensureMembers()
+	q := d.resortNext % d.cfg.Partitions
+	d.resortNext++
+	l := d.members[q]
+	if len(l) < 2 {
+		return
+	}
+	byPos := append([]graph.VertexID(nil), l...)
+	sort.Slice(byPos, func(i, j int) bool { return d.ordPerm[byPos[i]] < d.ordPerm[byPos[j]] })
+	want := append([]graph.VertexID(nil), l...)
+	sort.Slice(want, func(i, j int) bool {
+		if d.degIn[want[i]] != d.degIn[want[j]] {
+			return d.degIn[want[i]] > d.degIn[want[j]]
+		}
+		return want[i] < want[j]
+	})
+	var moved []graph.VertexID
+	for i := range want {
+		if want[i] != byPos[i] {
+			moved = append(moved, want[i])
+		}
+	}
+	if len(moved) == 0 {
+		return
+	}
+	pos := make([]graph.VertexID, len(byPos))
+	for i, v := range byPos {
+		pos[i] = d.ordPerm[v]
+	}
+	perm := append([]graph.VertexID(nil), d.ordPerm...) // copy-on-write
+	for i, v := range want {
+		perm[v] = pos[i]
+	}
+	d.ordPerm = perm
+	d.placeEpoch++
+	d.ordPlace = d.placeEpoch
+	for _, v := range moved {
+		d.viewMoved[v] = struct{}{}
+	}
+	d.stats.Resorts++
+	d.stats.ResortedVertices += int64(len(moved))
 }
 
 func (d *Graph) insertEdge(s, dst graph.VertexID, w int32) {
@@ -617,6 +835,9 @@ func (d *Graph) cancelBase(k edgeKey, w int32) {
 // the parallel-edge run, so an occurrence is live iff the number of
 // same-weight occurrences before it covers the weight's cancellation count.
 func (d *Graph) earliestLiveBase(s, dst graph.VertexID) (int32, bool) {
+	if int(s) >= d.base.NumVertices() {
+		return 0, false
+	}
 	nbrs := d.base.OutNeighbors(s)
 	ws := d.base.OutWeights(s)
 	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
@@ -728,7 +949,87 @@ func (d *Graph) swapRepair() {
 	var perm []graph.VertexID
 	var partOf []uint32
 	var moved []graph.VertexID
-	var swaps int64
+	var swaps, rots int64
+	// cow clones the shared cached permutation once per pass, so views
+	// pinned to earlier epochs keep their numbering.
+	cow := func() {
+		if perm == nil {
+			perm = append([]graph.VertexID(nil), d.ordPerm...)
+			partOf = append([]uint32(nil), d.ordPartOf...)
+		}
+	}
+	// rotate attempts a three-way exchange when no improving pair swap
+	// exists: a ∈ pmax moves to an intermediate partition q, b ∈ q moves to
+	// pmin, and c ∈ pmin moves to pmax, the three exchanging new IDs
+	// cyclically so all vertex counts and segment boundaries stay fixed.
+	// Per-pair transfers that are individually too coarse (deg(a)−deg(c)
+	// ∉ (0, gap) for every direct pair) can compose into a fine-grained
+	// net flow through q. The rotation is accepted only if it strictly
+	// decreases the sum of squared loads of the three partitions, which
+	// bounds the repair loop the same way pair swaps do.
+	rotate := func(pmax, pmin int, gap int64) bool {
+		lmax, lmin := lists[pmax], lists[pmin]
+		bestQ, bestA, bestB, bestC := -1, -1, -1, -1
+		var bestGain int64
+		// Gain of moving loads x→x+t is −(2xt+t²) summed over the three
+		// partitions; positive gain = smaller Σ load².
+		gainOf := func(load, t int64) int64 { return -(2*load*t + t*t) }
+		for q := 0; q < p; q++ {
+			if q == pmax || q == pmin || len(lists[q]) == 0 {
+				continue
+			}
+			sortList(q)
+			lq := lists[q]
+			for ci, c := range lmin {
+				target := d.degIn[c] + (gap+1)/2
+				ai := sort.Search(len(lmax), func(i int) bool { return d.degIn[lmax[i]] >= target })
+				for _, aj := range [2]int{ai - 1, ai} {
+					if aj < 0 || aj >= len(lmax) {
+						continue
+					}
+					a := lmax[aj]
+					// b ideally matches deg(a) so q's load barely moves.
+					bi := sort.Search(len(lq), func(i int) bool { return d.degIn[lq[i]] >= d.degIn[a] })
+					for _, bj := range [2]int{bi - 1, bi} {
+						if bj < 0 || bj >= len(lq) {
+							continue
+						}
+						b := lq[bj]
+						da, db, dc := d.degIn[a], d.degIn[b], d.degIn[c]
+						gain := gainOf(d.partEdges[pmax], dc-da) +
+							gainOf(d.partEdges[q], da-db) +
+							gainOf(d.partEdges[pmin], db-dc)
+						if gain > bestGain {
+							bestQ, bestA, bestB, bestC, bestGain = q, aj, bj, ci, gain
+						}
+					}
+				}
+			}
+		}
+		if bestQ < 0 {
+			return false
+		}
+		q := bestQ
+		a, b, c := lists[pmax][bestA], lists[q][bestB], lists[pmin][bestC]
+		cow()
+		da, db, dc := d.degIn[a], d.degIn[b], d.degIn[c]
+		d.assign[a], d.assign[b], d.assign[c] = uint32(q), uint32(pmin), uint32(pmax)
+		partOf[a], partOf[b], partOf[c] = uint32(q), uint32(pmin), uint32(pmax)
+		d.partEdges[pmax] += dc - da
+		d.partEdges[q] += da - db
+		d.partEdges[pmin] += db - dc
+		// a takes b's position, b takes c's, c takes a's.
+		perm[a], perm[b], perm[c] = perm[b], perm[c], perm[a]
+		moved = append(moved, a, b, c)
+		rots++
+		lists[pmax] = append(lists[pmax][:bestA], lists[pmax][bestA+1:]...)
+		lists[q] = append(lists[q][:bestB], lists[q][bestB+1:]...)
+		lists[pmin] = append(lists[pmin][:bestC], lists[pmin][bestC+1:]...)
+		insertSorted(q, a)
+		insertSorted(pmin, b)
+		insertSorted(pmax, c)
+		return true
+	}
 	for iter := 0; iter < d.n; iter++ {
 		pmax := argMin2Neg(d.partEdges)
 		pmin := argMin2(d.partEdges, d.partVerts)
@@ -767,13 +1068,16 @@ func (d *Graph) swapRepair() {
 			}
 		}
 		if bestV < 0 {
-			break // no improving exchange exists; the caller may rebuild
+			// No improving pair exchange exists; try a three-way rotation
+			// through an intermediate partition before giving up (the
+			// caller falls back to a full rebuild).
+			if !rotate(pmax, pmin, gap) {
+				break
+			}
+			continue
 		}
 		v, u := lmax[bestV], lmin[bestU]
-		if perm == nil {
-			perm = append([]graph.VertexID(nil), d.ordPerm...)
-			partOf = append([]uint32(nil), d.ordPartOf...)
-		}
+		cow()
 		dv, du := d.degIn[v], d.degIn[u]
 		d.assign[v], d.assign[u] = uint32(pmin), uint32(pmax)
 		partOf[v], partOf[u] = uint32(pmin), uint32(pmax)
@@ -787,7 +1091,7 @@ func (d *Graph) swapRepair() {
 		insertSorted(pmax, u)
 		insertSorted(pmin, v)
 	}
-	if swaps > 0 {
+	if swaps > 0 || rots > 0 {
 		d.ordPerm, d.ordPartOf = perm, partOf
 		d.placeEpoch++
 		d.ordPlace = d.placeEpoch
@@ -795,8 +1099,9 @@ func (d *Graph) swapRepair() {
 			d.viewMoved[w] = struct{}{}
 		}
 		d.stats.Swaps += swaps
-		d.stats.Placements += 2 * swaps
-		d.stats.RepairedVertices += 2 * swaps
+		d.stats.Rotations += rots
+		d.stats.Placements += 2*swaps + 3*rots
+		d.stats.RepairedVertices += 2*swaps + 3*rots
 	}
 	d.stats.Repairs++
 }
@@ -1167,8 +1472,38 @@ type ViewDelta struct {
 	// since the last drain (full rebuild or replace-mode repair); swap
 	// repairs set Moved instead.
 	PlacementChanged bool
+	// Grown is the per-partition count of vertices admitted since the last
+	// drain (nil when none): partition p's segment grew by Grown[p] slots
+	// at its tail, shifting every later segment up by the running sum.
+	// Internal IDs are append-only, so the admitted vertices are exactly
+	// the IDs in [n − GrownTotal(), n) of the drained epoch's space.
+	Grown []int64
 	// Updates counts the net edge changes covered by this delta.
 	Updates int64
+}
+
+// GrownTotal returns the number of vertices admitted in the delta's window.
+func (vd ViewDelta) GrownTotal() int64 {
+	var t int64
+	for _, c := range vd.Grown {
+		t += c
+	}
+	return t
+}
+
+// addGrown adds sign×b into a elementwise, allocating on first use; a nil
+// result stands for the zero vector.
+func addGrown(a, b []int64, sign int64) []int64 {
+	if len(b) == 0 {
+		return a
+	}
+	if a == nil {
+		a = make([]int64, len(b))
+	}
+	for p, c := range b {
+		a[p] += sign * c
+	}
+	return a
 }
 
 // DrainViewDelta returns the accumulated delta and resets the accumulators.
@@ -1178,6 +1513,7 @@ func (d *Graph) DrainViewDelta() ViewDelta {
 		Net:              d.viewNet,
 		Moved:            d.viewMoved,
 		PlacementChanged: d.viewPlace,
+		Grown:            d.viewGrow,
 	}
 	for _, c := range vd.Net {
 		if c > 0 {
@@ -1188,6 +1524,7 @@ func (d *Graph) DrainViewDelta() ViewDelta {
 	}
 	d.viewNet = make(map[graph.Edge]int64)
 	d.viewMoved = make(map[graph.VertexID]struct{})
+	d.viewGrow = nil
 	d.viewPlace = false
 	return vd
 }
@@ -1219,6 +1556,7 @@ func (vd ViewDelta) Merge(later ViewDelta) ViewDelta {
 		Net:              make(map[graph.Edge]int64, len(vd.Net)+len(later.Net)),
 		Moved:            mergeMoved(vd.Moved, later.Moved),
 		PlacementChanged: vd.PlacementChanged || later.PlacementChanged,
+		Grown:            addGrown(addGrown(nil, vd.Grown, 1), later.Grown, 1),
 		Updates:          vd.Updates + later.Updates,
 	}
 	for e, c := range vd.Net {
@@ -1242,6 +1580,9 @@ func (vd ViewDelta) Subtract(prefix ViewDelta) ViewDelta {
 	out := ViewDelta{
 		Net:   make(map[graph.Edge]int64, len(vd.Net)),
 		Moved: mergeMoved(vd.Moved, prefix.Moved),
+		// Admissions are cumulative and prefix-closed: the prefix's
+		// admissions are a per-partition prefix of this window's.
+		Grown: addGrown(addGrown(nil, vd.Grown, 1), prefix.Grown, -1),
 	}
 	for e, c := range vd.Net {
 		out.Net[e] = c

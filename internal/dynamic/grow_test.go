@@ -1,0 +1,417 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestGrowAdmitsZeroDegreeLeastLoaded checks the admission rule: every
+// admitted vertex is zero-degree, lands on a partition minimizing the vertex
+// count, and the per-partition counters stay consistent.
+func TestGrowAdmitsZeroDegreeLeastLoaded(t *testing.T) {
+	g, err := gen.ErdosRenyi(200, 1200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preVerts := d.VertexCounts()
+	first := d.Grow(5)
+	if first != 200 {
+		t.Fatalf("first admitted ID %d, want 200", first)
+	}
+	if d.NumVertices() != 205 {
+		t.Fatalf("n=%d, want 205", d.NumVertices())
+	}
+	var total int64
+	for _, c := range d.VertexCounts() {
+		total += c
+	}
+	if total != 205 {
+		t.Fatalf("vertex counts sum %d, want 205", total)
+	}
+	// Least-loaded admission can raise δ(n) by at most one step (5 < P
+	// partitions each gained at most one vertex).
+	if before := core.Spread(preVerts); d.VertexImbalance() > before+1 {
+		t.Fatalf("admission worsened δ(n): %d -> %d", before, d.VertexImbalance())
+	}
+	for v := graph.VertexID(200); v < 205; v++ {
+		if d.InDegree(v) != 0 {
+			t.Fatalf("admitted vertex %d has degree %d", v, d.InDegree(v))
+		}
+	}
+	if st := d.Stats(); st.Admitted != 5 {
+		t.Fatalf("Admitted=%d, want 5", st.Admitted)
+	}
+}
+
+// TestGrowOrderingSegmentTails checks the segment-growth policy: after
+// admissions the cached ordering is still a valid segment-contiguous
+// permutation, every partition owns a contiguous new-ID range sized by its
+// vertex count, and pinned (pre-growth) orderings are untouched (COW).
+func TestGrowOrderingSegmentTails(t *testing.T) {
+	g, err := gen.ErdosRenyi(300, 2500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Ordering()
+	beforePerm := append([]graph.VertexID(nil), before.Perm...)
+	d.Grow(9)
+	after := d.Ordering()
+	if len(after.Perm) != 309 {
+		t.Fatalf("ordering length %d, want 309", len(after.Perm))
+	}
+	// Valid permutation, segment-contiguous by partition.
+	seen := make([]bool, 309)
+	bounds := after.Boundaries()
+	for v, nw := range after.Perm {
+		if seen[nw] {
+			t.Fatalf("duplicate new ID %d", nw)
+		}
+		seen[nw] = true
+		p := after.PartitionOf[v]
+		if int64(nw) < bounds[p] || int64(nw) >= bounds[p+1] {
+			t.Fatalf("vertex %d new ID %d outside partition %d segment [%d,%d)", v, nw, p, bounds[p], bounds[p+1])
+		}
+	}
+	// The pinned pre-growth ordering must not have been mutated.
+	for v, nw := range beforePerm {
+		if before.Perm[v] != nw {
+			t.Fatalf("pre-growth ordering mutated at %d", v)
+		}
+	}
+	// The old→new position map must be the per-partition shift: positions
+	// within one partition keep their relative order.
+	for v := 0; v < 300; v++ {
+		for u := v + 1; u < 300; u++ {
+			if before.PartitionOf[v] == before.PartitionOf[u] &&
+				after.PartitionOf[v] == after.PartitionOf[u] &&
+				(beforePerm[v] < beforePerm[u]) != (after.Perm[v] < after.Perm[u]) {
+				t.Fatalf("growth reordered %d and %d within their segment", v, u)
+			}
+		}
+	}
+}
+
+// TestAutoGrowApplyBatch checks the dense-ID auto-admission path: inserts
+// mentioning out-of-range endpoints grow the graph, deletions never do, and
+// the snapshot matches a scratch rebuild over the grown space.
+func TestAutoGrowApplyBatch(t *testing.T) {
+	g, err := gen.ErdosRenyi(100, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 8, AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ApplyBatch([]graph.EdgeUpdate{
+		{Src: 100, Dst: 3},   // one new vertex as source
+		{Src: 4, Dst: 103},   // three more, 101..103
+		{Src: 103, Dst: 100}, // edge between admitted vertices
+		{Src: 100, Dst: 3, Del: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted != 4 || d.NumVertices() != 104 {
+		t.Fatalf("admitted %d (n=%d), want 4 (104)", res.Admitted, d.NumVertices())
+	}
+	want, err := graph.FromEdges(104, append(g.Edges(),
+		graph.Edge{Src: 4, Dst: 103, Weight: 1},
+		graph.Edge{Src: 103, Dst: 100, Weight: 1}), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(d.Snapshot(), want) {
+		t.Fatal("snapshot after auto-growth differs from scratch rebuild")
+	}
+	// Deleting through an out-of-range endpoint must not grow.
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{{Src: 500, Dst: 0, Del: true}}); err == nil {
+		t.Fatal("expected error for out-of-range deletion")
+	}
+	if d.NumVertices() != 104 {
+		t.Fatalf("deletion grew the graph to %d", d.NumVertices())
+	}
+	// Without AutoGrow, out-of-range inserts still fail.
+	d2, err := New(g, Config{Partitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.ApplyBatch([]graph.EdgeUpdate{{Src: 100, Dst: 0}}); err == nil {
+		t.Fatal("expected error without AutoGrow")
+	}
+}
+
+// TestGrowStreamSnapshotMatchesReference replays a growth stream (vertex
+// arrivals interleaved with churn, including deletes of post-growth edges
+// after compaction) and checks the final snapshot, live-edge count and
+// balance counters against a scratch reference.
+func TestGrowStreamSnapshotMatchesReference(t *testing.T) {
+	g, err := gen.ErdosRenyi(250, 1500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := gen.EdgeStream(g, gen.StreamConfig{
+		Ops: 4000, DeleteFrac: 0.35, PreferentialFrac: 0.5, GrowFrac: 0.05, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 16, AutoGrow: true, CompactEvery: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, 128)
+	if d.Stats().Admitted == 0 {
+		t.Fatal("stream admitted no vertices; growth not exercised")
+	}
+	want, err := graph.FromEdges(d.NumVertices(), referenceSurvivors(g, updates), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if !graph.Equal(snap, want) {
+		t.Fatal("snapshot after growth stream differs from reference")
+	}
+	if d.NumEdges() != want.NumEdges() {
+		t.Fatalf("live edges %d, want %d", d.NumEdges(), want.NumEdges())
+	}
+	// Tracked counters must match a recount over the final placement.
+	edges := make([]int64, d.Partitions())
+	verts := make([]int64, d.Partitions())
+	for v := 0; v < d.NumVertices(); v++ {
+		p := d.PartitionOf(graph.VertexID(v))
+		verts[p]++
+		edges[p] += snap.InDegree(graph.VertexID(v))
+	}
+	for p, c := range d.EdgeCounts() {
+		if c != edges[p] {
+			t.Fatalf("partition %d tracked %d edges, recount %d", p, c, edges[p])
+		}
+	}
+	for p, c := range d.VertexCounts() {
+		if c != verts[p] {
+			t.Fatalf("partition %d tracked %d vertices, recount %d", p, c, verts[p])
+		}
+	}
+}
+
+// TestGrowViewDeltaVector checks the drained growth vector: per-partition
+// counts sum to the admissions of the window and Merge/Subtract compose it.
+func TestGrowViewDeltaVector(t *testing.T) {
+	g, err := gen.ErdosRenyi(120, 700, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 4, AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DrainViewDelta() // clear the initial window
+	d.Grow(3)
+	first := d.DrainViewDelta()
+	if first.GrownTotal() != 3 {
+		t.Fatalf("GrownTotal=%d, want 3", first.GrownTotal())
+	}
+	d.Grow(2)
+	second := d.DrainViewDelta()
+	if second.GrownTotal() != 2 {
+		t.Fatalf("GrownTotal=%d, want 2", second.GrownTotal())
+	}
+	merged := first.Merge(second)
+	if merged.GrownTotal() != 5 {
+		t.Fatalf("merged GrownTotal=%d, want 5", merged.GrownTotal())
+	}
+	back := merged.Subtract(first)
+	if back.GrownTotal() != 2 {
+		t.Fatalf("subtracted GrownTotal=%d, want 2", back.GrownTotal())
+	}
+	for p, c := range back.Grown {
+		if c != second.Grown[p] {
+			t.Fatalf("partition %d: subtracted growth %d, want %d", p, c, second.Grown[p])
+		}
+	}
+	if d.DrainViewDelta().Grown != nil {
+		t.Fatal("drain did not reset the growth vector")
+	}
+}
+
+// hostileDegreeGraph builds the degree distribution on which the greedy
+// donor/receiver pair search provably stalls: with P=3, in-degrees come in
+// one coarse class D (eight vertices — Algorithm 2 balances them 3/3/2) and
+// one mid class D/2 (two vertices, both placed on the 2-count partition,
+// equalizing every load at exactly 3D), plus zero-degree sources. After a
+// batch raises one partition's load by exactly D, every direct max→min
+// transfer is deg(a)−deg(u) ∈ {0, D, 2D} — never strictly inside (0, gap=D)
+// — while the isolated D/2 class on the third partition admits a
+// D → D/2 → 0 rotation with strictly positive gain.
+func hostileDegreeGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	const D = 10
+	var edges []graph.Edge
+	rng := rand.New(rand.NewSource(31))
+	addIn := func(dst graph.VertexID, k int) {
+		for i := 0; i < k; i++ {
+			edges = append(edges, graph.Edge{Src: 10 + graph.VertexID(rng.Intn(30)), Dst: dst, Weight: 1})
+		}
+	}
+	for v := graph.VertexID(0); v < 8; v++ {
+		addIn(v, D)
+	}
+	addIn(8, D/2)
+	addIn(9, D/2)
+	g, err := graph.FromEdges(40, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSwapRepairRotationFallback pins the hostile-degree regression: when no
+// donor/receiver pair offers a transfer inside (0, gap), the repair must fix
+// the imbalance with a three-way rotation instead of falling back to a full
+// rebuild.
+func TestSwapRepairRotationFallback(t *testing.T) {
+	const D = 10
+	g := hostileDegreeGraph(t)
+	d, err := New(g, Config{
+		Partitions:               3,
+		RebuildThreshold:         D/2 + 1,
+		VertexRebuildThreshold:   1 << 40,
+		DisableAdaptiveThreshold: true,
+		DisableSegmentResort:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EdgeImbalance() != 0 {
+		t.Fatalf("construction assumes equal initial loads, got Δ(n)=%d", d.EdgeImbalance())
+	}
+	// The D/2 class lives together on one partition (qmid). Overload a
+	// different partition X by exactly D (one vertex D→2D), and nudge qmid
+	// by one edge so the remaining partition is the unambiguous arg-min —
+	// the pair search then faces only {2D, D, 0} vs {D, 0} movers.
+	qmid := int(d.PartitionOf(8))
+	if int(d.PartitionOf(9)) != qmid {
+		t.Fatalf("mid-degree class split across partitions %d and %d", qmid, d.PartitionOf(9))
+	}
+	X := -1
+	var target, qv graph.VertexID
+	for v := graph.VertexID(0); v < 8; v++ {
+		switch int(d.PartitionOf(v)) {
+		case qmid:
+			qv = v
+		default:
+			if X < 0 {
+				X = int(d.PartitionOf(v))
+			}
+			if int(d.PartitionOf(v)) == X {
+				target = v
+			}
+		}
+	}
+	var batch []graph.EdgeUpdate
+	for i := 0; i < D; i++ {
+		batch = append(batch, graph.EdgeUpdate{Src: graph.VertexID(10 + i), Dst: target})
+	}
+	batch = append(batch, graph.EdgeUpdate{Src: 20, Dst: qv})
+	res, err := d.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if !res.Repaired {
+		t.Fatalf("repair did not run: %+v", res)
+	}
+	if st.FullRebuilds != 0 {
+		t.Fatalf("fell back to a full rebuild (rotations=%d swaps=%d)", st.Rotations, st.Swaps)
+	}
+	if st.Rotations == 0 {
+		t.Fatalf("pair search should have failed and rotated: %+v", st)
+	}
+	if d.EdgeImbalance() > d.EffectiveRebuildThreshold() {
+		t.Fatalf("rotation left Δ(n)=%d above threshold %d", d.EdgeImbalance(), d.EffectiveRebuildThreshold())
+	}
+}
+
+// TestSegmentResortRestoresDegreeOrder checks the background re-sort: after
+// churn and swap repairs decay the intra-segment degree order, repeated
+// batches re-establish degree-descending layout segment by segment, via
+// segment-local permutations only (no renumbering epoch change).
+func TestSegmentResortRestoresDegreeOrder(t *testing.T) {
+	g, err := gen.ErdosRenyi(400, 4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := gen.EdgeStream(g, gen.StreamConfig{
+		Ops: 6000, DeleteFrac: 0.3, PreferentialFrac: 0.6, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, 64)
+	st := d.Stats()
+	if st.Resorts == 0 {
+		t.Skipf("no re-sorts fired (swaps=%d); stream too calm for the property", st.Swaps)
+	}
+	if d.RenumEpoch() != 0 {
+		t.Fatalf("re-sorts must preserve the numbering lineage, RenumEpoch=%d", d.RenumEpoch())
+	}
+	// Quiesce: with no further churn, P consecutive disturbance-free batches
+	// leave nothing to re-sort, so force one pass over every segment.
+	for p := 0; p < d.Partitions(); p++ {
+		d.resortSegment()
+	}
+	ord := d.Ordering()
+	pos := make([]graph.VertexID, d.NumVertices()) // new ID -> vertex
+	for v, nw := range ord.Perm {
+		pos[nw] = graph.VertexID(v)
+	}
+	bounds := ord.Boundaries()
+	for p := 0; p < d.Partitions(); p++ {
+		for i := bounds[p] + 1; i < bounds[p+1]; i++ {
+			prev, cur := pos[i-1], pos[i]
+			if d.InDegree(prev) < d.InDegree(cur) {
+				t.Fatalf("partition %d: degree order broken at new IDs %d,%d (%d < %d)",
+					p, i-1, i, d.InDegree(prev), d.InDegree(cur))
+			}
+		}
+	}
+}
+
+// TestDisableSegmentResort pins the ablation switch.
+func TestDisableSegmentResort(t *testing.T) {
+	g, err := gen.ErdosRenyi(400, 4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := gen.EdgeStream(g, gen.StreamConfig{
+		Ops: 6000, DeleteFrac: 0.3, PreferentialFrac: 0.6, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(g, Config{Partitions: 8, DisableSegmentResort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, 64)
+	if st := d.Stats(); st.Resorts != 0 {
+		t.Fatalf("re-sorts fired despite DisableSegmentResort: %d", st.Resorts)
+	}
+}

@@ -37,7 +37,15 @@ type StreamConfig struct {
 	// reverse present with equal weight and multiplicity) so that mirrored
 	// deletions always target live edges.
 	Mirror bool
-	Seed   int64
+	// GrowFrac is the probability that an insertion attaches a
+	// never-before-seen vertex: new vertices take the next dense IDs beyond
+	// the base graph (n, n+1, …), arrive as one endpoint of their first
+	// edge (source or destination with equal probability, the other
+	// endpoint drawn as usual), and participate in later churn like any
+	// other vertex. Consumers must admit out-of-range endpoints (the
+	// dynamic subsystem's AutoGrow). In [0,1); incompatible with Mirror.
+	GrowFrac float64
+	Seed     int64
 }
 
 // EdgeStream generates a deterministic, timestamped update stream against g.
@@ -54,6 +62,12 @@ func EdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
 	if cfg.PreferentialFrac < 0 || cfg.PreferentialFrac > 1 {
 		return nil, fmt.Errorf("gen: PreferentialFrac out of range: %v", cfg.PreferentialFrac)
 	}
+	if cfg.GrowFrac < 0 || cfg.GrowFrac >= 1 {
+		return nil, fmt.Errorf("gen: GrowFrac out of range: %v", cfg.GrowFrac)
+	}
+	if cfg.GrowFrac > 0 && cfg.Mirror {
+		return nil, fmt.Errorf("gen: GrowFrac and Mirror cannot be combined")
+	}
 	n := g.NumVertices()
 	if n == 0 && cfg.Ops > 0 {
 		return nil, fmt.Errorf("gen: cannot stream over an empty graph")
@@ -63,9 +77,21 @@ func EdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	// live mirrors the evolving edge multiset; index order is irrelevant
-	// (deletions swap-remove), only membership matters.
+	// (deletions swap-remove), only membership matters. next is the next
+	// unseen dense vertex ID a growth insertion will mint.
 	live := g.Edges()
+	next := graph.VertexID(n)
 	updates := make([]graph.EdgeUpdate, 0, cfg.Ops)
+	pickExisting := func() graph.VertexID {
+		if len(live) > 0 && rng.Float64() < cfg.PreferentialFrac {
+			e := live[rng.Intn(len(live))]
+			if rng.Intn(2) == 0 {
+				return e.Src
+			}
+			return e.Dst
+		}
+		return graph.VertexID(rng.Intn(int(next)))
+	}
 	for t := 0; t < cfg.Ops; t++ {
 		if len(live) > 0 && rng.Float64() < cfg.DeleteFrac {
 			i := rng.Intn(len(live))
@@ -80,15 +106,28 @@ func EdgeStream(g *graph.Graph, cfg StreamConfig) ([]graph.EdgeUpdate, error) {
 			continue
 		}
 		var src, dst graph.VertexID
-		if len(live) > 0 && rng.Float64() < cfg.PreferentialFrac {
+		if cfg.GrowFrac > 0 && rng.Float64() < cfg.GrowFrac {
+			// A vertex arrival: the newcomer's first edge connects it to
+			// the existing graph (either direction — a new account follows
+			// someone, or is discovered and followed). The partner is drawn
+			// before next is minted, so it is always an existing vertex.
+			other := pickExisting()
+			nv := next
+			next++
+			if rng.Intn(2) == 0 {
+				src, dst = nv, other
+			} else {
+				src, dst = other, nv
+			}
+		} else if len(live) > 0 && rng.Float64() < cfg.PreferentialFrac {
 			// Sampling a uniform live edge and copying its endpoints draws
 			// src ∝ out-degree and dst ∝ in-degree: preferential attachment
 			// without any auxiliary weight structure.
 			src = live[rng.Intn(len(live))].Src
 			dst = live[rng.Intn(len(live))].Dst
 		} else {
-			src = graph.VertexID(rng.Intn(n))
-			dst = graph.VertexID(rng.Intn(n))
+			src = graph.VertexID(rng.Intn(int(next)))
+			dst = graph.VertexID(rng.Intn(int(next)))
 		}
 		w := int32(1)
 		if cfg.Weighted {
@@ -235,6 +274,10 @@ type RecipeStreamOptions struct {
 	// symmetry of an undirected recipe graph. Only valid for undirected
 	// recipes (orkut, usaroad, powerlaw).
 	Mirror bool
+	// GrowFrac interleaves vertex arrivals with the edge churn: each
+	// insertion mints a never-before-seen vertex with this probability
+	// (see StreamConfig.GrowFrac). Incompatible with Mirror.
+	GrowFrac float64
 }
 
 // StreamFromRecipe builds the named workload graph (as Recipe.Build does)
@@ -266,6 +309,7 @@ func StreamFromRecipeOpts(name string, scale float64, ops int, seed int64, opts 
 		PreferentialFrac: shape.preferentialFrac,
 		Weighted:         g.Weighted(),
 		Mirror:           opts.Mirror,
+		GrowFrac:         opts.GrowFrac,
 		Seed:             seed + 1,
 	})
 	if err != nil {

@@ -249,3 +249,80 @@ func TestMirroredStreamDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestEdgeStreamGrowth checks the vertex-arrival knob: new endpoints appear
+// densely (n, n+1, … with no gaps), every deletion still targets a live
+// edge, arrivals scale with GrowFrac, and a zero knob leaves the stream
+// byte-identical to the pre-growth generator.
+func TestEdgeStreamGrowth(t *testing.T) {
+	g, err := ErdosRenyi(300, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{Ops: 5000, DeleteFrac: 0.3, PreferentialFrac: 0.5, GrowFrac: 0.04, Seed: 21}
+	updates, err := EdgeStream(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayable(t, g, updates)
+	next := graph.VertexID(g.NumVertices())
+	arrivals := 0
+	for i, u := range updates {
+		mx := u.Src
+		if u.Dst > mx {
+			mx = u.Dst
+		}
+		if mx >= next {
+			if u.Del {
+				t.Fatalf("update %d: deletion mentions unseen vertex %d", i, mx)
+			}
+			if mx != next {
+				t.Fatalf("update %d: arrival skipped IDs (%d, expected %d)", i, mx, next)
+			}
+			if u.Src >= next && u.Dst >= next {
+				t.Fatalf("update %d: arrival not anchored to an existing vertex", i)
+			}
+			next++
+			arrivals++
+		}
+	}
+	if arrivals == 0 {
+		t.Fatal("GrowFrac produced no arrivals")
+	}
+	// Arrival rate ≈ GrowFrac × insert rate; allow wide slack.
+	inserts := 0
+	for _, u := range updates {
+		if !u.Del {
+			inserts++
+		}
+	}
+	want := cfg.GrowFrac * float64(inserts)
+	if float64(arrivals) < want/2 || float64(arrivals) > want*2 {
+		t.Fatalf("arrivals=%d, expected about %.0f", arrivals, want)
+	}
+
+	// GrowFrac: 0 must not perturb the generator's random sequence.
+	base := cfg
+	base.GrowFrac = 0
+	a, err := EdgeStream(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EdgeStream(g, StreamConfig{Ops: cfg.Ops, DeleteFrac: cfg.DeleteFrac, PreferentialFrac: cfg.PreferentialFrac, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("GrowFrac=0 changed the stream at %d", i)
+		}
+	}
+
+	// Config validation.
+	if _, err := EdgeStream(g, StreamConfig{Ops: 1, GrowFrac: 1.5}); err == nil {
+		t.Error("expected range error for GrowFrac")
+	}
+	if _, err := EdgeStream(g, StreamConfig{Ops: 1, GrowFrac: 0.1, Mirror: true}); err == nil {
+		t.Error("expected error for GrowFrac+Mirror")
+	}
+}

@@ -7,13 +7,18 @@ import (
 
 // PatchStats reports how much construction work a PatchEdges call did, in
 // edges. Merged edges go through the full per-row merge-and-sort path;
+// remapped edges are rows whose content did not change but whose stored
+// neighbor IDs (or row position) did — a linear rewrite through the
+// permutation, re-sorted only when the rewrite broke the row's order;
 // copied edges are block memcpy of untouched rows, an order of magnitude
 // cheaper per edge than building a graph from scratch (which counting-sorts
 // and scatters every edge twice).
 type PatchStats struct {
-	RowsMerged  int   // dirty CSR rows + dirty CSC rows rebuilt
-	EdgesMerged int64 // edges written through row merges (both directions)
-	EdgesCopied int64 // edges block-copied from untouched rows (both directions)
+	RowsMerged    int   // dirty CSR rows + dirty CSC rows rebuilt via merge
+	RowsRemapped  int   // rows rewritten through the permutation only
+	EdgesMerged   int64 // edges written through row merges (both directions)
+	EdgesRemapped int64 // edges rewritten by remap-only rows (both directions)
+	EdgesCopied   int64 // edges block-copied from untouched rows (both directions)
 }
 
 // PatchEdges returns a new graph equal to g with dels removed and adds
@@ -25,7 +30,17 @@ type PatchStats struct {
 // occurrence exists. The receiver is not modified. Merged rows are sorted by
 // (neighbor, weight); untouched rows keep their original order.
 func (g *Graph) PatchEdges(adds, dels []Edge) (*Graph, PatchStats, error) {
-	return g.PatchEdgesPerm(adds, dels, nil)
+	return g.PatchEdgesPermN(g.n, adds, dels, nil)
+}
+
+// PatchEdgesN is PatchEdges over a grown vertex space: the result has
+// nNew ≥ g.NumVertices() vertices, the appended vertices starting with
+// empty adjacency rows (plus whatever adds reference them). This is the
+// snapshot-growth contract: original vertex IDs are append-only, so a
+// snapshot of a graph that admitted vertices patches from an older
+// snapshot by row-array extension, never by re-materialization.
+func (g *Graph) PatchEdgesN(nNew int, adds, dels []Edge) (*Graph, PatchStats, error) {
+	return g.PatchEdgesPermN(nNew, adds, dels, nil)
 }
 
 // PatchEdgesPerm generalizes PatchEdges with a segment-local renumbering:
@@ -34,20 +49,35 @@ func (g *Graph) PatchEdges(adds, dels []Edge) (*Graph, PatchStats, error) {
 // IDs to its new ID and must be a permutation of [0, n); nil selects the
 // identity. The cost scales with the change, not the graph: only rows owned
 // by or referencing a moved vertex (perm[v] != v), plus rows incident to an
-// explicit add or delete, are merged — everything else is block-copied. This
-// is the patch-path contract behind placement-preserving repair: a swap
-// exchanges two IDs, so perm differs from the identity at exactly the
-// swapped positions and the rest of the graph is reused wholesale.
+// explicit add or delete, are merged or remapped — everything else is
+// block-copied. This is the patch-path contract behind placement-preserving
+// repair: a swap exchanges two IDs, so perm differs from the identity at
+// exactly the swapped positions and the rest of the graph is reused
+// wholesale.
 func (g *Graph) PatchEdgesPerm(adds, dels []Edge, perm []VertexID) (*Graph, PatchStats, error) {
+	return g.PatchEdgesPermN(g.n, adds, dels, perm)
+}
+
+// PatchEdgesPermN is PatchEdgesPerm over a grown vertex space. The result
+// has nNew vertices; perm (length g.NumVertices()) must be injective into
+// [0, nNew), and new IDs without a preimage under perm start with empty
+// rows. This is the segment-growth contract: admitting vertices to a
+// partition extends its segment, shifting every later segment up — an
+// injective, order-preserving-by-segment map rather than a permutation —
+// and the shifted rows are remapped (linear ID rewrite), not re-merged.
+func (g *Graph) PatchEdgesPermN(nNew int, adds, dels []Edge, perm []VertexID) (*Graph, PatchStats, error) {
 	var st PatchStats
+	if nNew < g.n {
+		return nil, st, fmt.Errorf("graph: patch shrinks vertex space %d -> %d", g.n, nNew)
+	}
 	for _, e := range adds {
-		if int(e.Src) >= g.n || int(e.Dst) >= g.n {
-			return nil, st, fmt.Errorf("graph: patch add (%d,%d) out of range n=%d", e.Src, e.Dst, g.n)
+		if int(e.Src) >= nNew || int(e.Dst) >= nNew {
+			return nil, st, fmt.Errorf("graph: patch add (%d,%d) out of range n=%d", e.Src, e.Dst, nNew)
 		}
 	}
 	for _, e := range dels {
-		if int(e.Src) >= g.n || int(e.Dst) >= g.n {
-			return nil, st, fmt.Errorf("graph: patch delete (%d,%d) out of range n=%d", e.Src, e.Dst, g.n)
+		if int(e.Src) >= nNew || int(e.Dst) >= nNew {
+			return nil, st, fmt.Errorf("graph: patch delete (%d,%d) out of range n=%d", e.Src, e.Dst, nNew)
 		}
 	}
 	var inv, moved []VertexID
@@ -55,17 +85,28 @@ func (g *Graph) PatchEdgesPerm(adds, dels []Edge, perm []VertexID) (*Graph, Patc
 		if len(perm) != g.n {
 			return nil, st, fmt.Errorf("graph: patch perm length %d != n %d", len(perm), g.n)
 		}
-		inv = make([]VertexID, g.n)
+		inv = make([]VertexID, nNew)
 		for i := range inv {
-			inv[i] = VertexID(g.n) // sentinel: not yet assigned
+			inv[i] = VertexID(g.n) // sentinel: no preimage
 		}
 		for old, nw := range perm {
-			if int(nw) >= g.n || inv[nw] != VertexID(g.n) {
-				return nil, st, fmt.Errorf("graph: patch perm is not a permutation at %d -> %d", old, nw)
+			if int(nw) >= nNew || inv[nw] != VertexID(g.n) {
+				return nil, st, fmt.Errorf("graph: patch perm is not injective at %d -> %d", old, nw)
 			}
 			inv[nw] = VertexID(old)
 			if VertexID(old) != nw {
 				moved = append(moved, VertexID(old))
+			}
+		}
+	} else if nNew > g.n {
+		// Identity map into a larger space: preimages are the identity
+		// prefix, appended rows have none.
+		inv = make([]VertexID, nNew)
+		for i := range inv {
+			if i < g.n {
+				inv[i] = VertexID(i)
+			} else {
+				inv[i] = VertexID(g.n)
 			}
 		}
 	}
@@ -73,18 +114,18 @@ func (g *Graph) PatchEdgesPerm(adds, dels []Edge, perm []VertexID) (*Graph, Patc
 	if m < 0 {
 		return nil, st, fmt.Errorf("graph: patch deletes %d edges from a graph with %d + %d added", len(dels), g.NumEdges(), len(adds))
 	}
-	out := &Graph{n: g.n, weighted: g.weighted}
+	out := &Graph{n: nNew, weighted: g.weighted}
 
 	var err error
 	out.outOff, out.outDst, out.outW, err = patchSide(
-		g.n, g.outOff, g.outDst, g.outW, adds, dels, g.weighted,
+		g.n, nNew, g.outOff, g.outDst, g.outW, adds, dels, g.weighted,
 		func(e Edge) (VertexID, VertexID) { return e.Src, e.Dst },
 		perm, inv, moved, g.InNeighbors, &st)
 	if err != nil {
 		return nil, st, fmt.Errorf("graph: patch out-edges: %w", err)
 	}
 	out.inOff, out.inSrc, out.inW, err = patchSide(
-		g.n, g.inOff, g.inSrc, g.inW, adds, dels, g.weighted,
+		g.n, nNew, g.inOff, g.inSrc, g.inW, adds, dels, g.weighted,
 		func(e Edge) (VertexID, VertexID) { return e.Dst, e.Src },
 		perm, inv, moved, g.OutNeighbors, &st)
 	if err != nil {
@@ -97,8 +138,12 @@ func (g *Graph) PatchEdgesPerm(adds, dels []Edge, perm []VertexID) (*Graph, Patc
 // owner, stored neighbor) for this direction; refRows returns the rows (in
 // pre-perm IDs) whose adjacency lists mention a given pre-perm vertex, so
 // rows holding stale references to moved vertices can be located without
-// scanning the graph. adds and dels are in post-perm IDs.
-func patchSide(n int, off []int64, ids []VertexID, ws []int32,
+// scanning the graph. adds and dels are in post-perm IDs. Rows fall into
+// three classes: rows with explicit adds/dels are merged (rewrite + re-sort),
+// rows merely owned by or referencing a moved vertex are remapped (linear ID
+// rewrite, re-sorted only if the rewrite broke the order — segment shifts
+// are monotone and preserve it), and everything else is block-copied.
+func patchSide(nOld, n int, off []int64, ids []VertexID, ws []int32,
 	adds, dels []Edge, weighted bool,
 	key func(Edge) (VertexID, VertexID),
 	perm, inv, moved []VertexID, refRows func(VertexID) []VertexID,
@@ -125,22 +170,22 @@ func patchSide(n int, off []int64, ids []VertexID, ws []int32,
 		rowDels[v] = append(rowDels[v], entry{nb, normW(e.Weight)})
 	}
 
-	// Dirty rows, in post-perm IDs: rows with explicit changes, rows owned
-	// by moved vertices (their content relocates and may self-reference),
-	// and rows whose lists mention a moved vertex (their stored neighbor IDs
-	// went stale). Everything else block-copies: an untouched row is owned
-	// by an unmoved vertex and references only unmoved vertices.
-	dirty := make(map[VertexID]struct{}, len(rowAdds)+len(rowDels)+2*len(moved))
-	for v := range rowAdds {
-		dirty[v] = struct{}{}
-	}
-	for v := range rowDels {
-		dirty[v] = struct{}{}
-	}
-	for _, a := range moved {
-		dirty[perm[a]] = struct{}{}
-		for _, r := range refRows(a) {
-			dirty[perm[r]] = struct{}{}
+	// Remap-dirty rows, in post-perm IDs: rows owned by moved vertices
+	// (their content relocates and may self-reference) and rows whose lists
+	// mention a moved vertex (their stored neighbor IDs went stale). When
+	// most of the graph moved — the segment-growth regime, where every
+	// vertex after the first grown partition shifts — locating referencing
+	// rows through the reverse adjacency costs as much as flagging
+	// everything, so flag everything.
+	var remap map[VertexID]struct{}
+	allRemap := perm != nil && 2*len(moved) > nOld
+	if !allRemap && len(moved) > 0 {
+		remap = make(map[VertexID]struct{}, 2*len(moved))
+		for _, a := range moved {
+			remap[perm[a]] = struct{}{}
+			for _, r := range refRows(a) {
+				remap[perm[r]] = struct{}{}
+			}
 		}
 	}
 
@@ -159,8 +204,10 @@ func patchSide(n int, off []int64, ids []VertexID, ws []int32,
 
 	newOff := make([]int64, n+1)
 	for v := 0; v < n; v++ {
-		u := oldRow(VertexID(v))
-		deg := off[u+1] - off[u]
+		var deg int64
+		if u := oldRow(VertexID(v)); int(u) < nOld {
+			deg = off[u+1] - off[u]
+		}
 		deg += int64(len(rowAdds[VertexID(v)])) - int64(len(rowDels[VertexID(v)]))
 		if deg < 0 {
 			return nil, nil, nil, fmt.Errorf("row %d: more deletions than edges", v)
@@ -174,16 +221,56 @@ func patchSide(n int, off []int64, ids []VertexID, ws []int32,
 		u := oldRow(VertexID(v))
 		dst := newIDs[newOff[v]:newOff[v+1]]
 		dw := newWs[newOff[v]:newOff[v+1]]
-		if _, isDirty := dirty[VertexID(v)]; !isDirty {
-			// Clean rows are owned by unmoved vertices (u == v) and mention
-			// only unmoved neighbors, so the stored IDs are still valid.
-			copy(dst, ids[off[u]:off[u+1]])
-			copy(dw, ws[off[u]:off[u+1]])
-			st.EdgesCopied += off[u+1] - off[u]
-			continue
-		}
 		va := rowAdds[VertexID(v)]
 		vd := rowDels[VertexID(v)]
+		if int(u) >= nOld {
+			// Appended vertex: no base row, only additions.
+			if len(vd) > 0 {
+				return nil, nil, nil, fmt.Errorf("row %d: deletion of non-existent edge to %d (weight %d)", v, vd[0].id, vd[0].w)
+			}
+			for k, e := range va {
+				dst[k] = e.id
+				dw[k] = e.w
+			}
+			sort.Sort(adjSegment{ids: dst, ws: dw})
+			st.RowsMerged++
+			st.EdgesMerged += int64(len(va))
+			continue
+		}
+		if len(va) == 0 && len(vd) == 0 {
+			dirty := allRemap
+			if !dirty {
+				_, dirty = remap[VertexID(v)]
+			}
+			if !dirty {
+				// Clean rows are owned by unmoved vertices (u == v) and
+				// mention only unmoved neighbors, so the stored IDs are
+				// still valid.
+				copy(dst, ids[off[u]:off[u+1]])
+				copy(dw, ws[off[u]:off[u+1]])
+				st.EdgesCopied += off[u+1] - off[u]
+				continue
+			}
+			// Remap-only row: content unchanged, IDs rewritten through
+			// perm. Segment shifts are monotone inside a row's neighbor
+			// list, so sortedness usually survives; re-sort only when a
+			// swapped neighbor broke it.
+			sorted := true
+			for i := off[u]; i < off[u+1]; i++ {
+				k := i - off[u]
+				dst[k] = mapID(ids[i])
+				dw[k] = ws[i]
+				if k > 0 && (dst[k] < dst[k-1] || (dst[k] == dst[k-1] && dw[k] < dw[k-1])) {
+					sorted = false
+				}
+			}
+			if !sorted {
+				sort.Sort(adjSegment{ids: dst, ws: dw})
+			}
+			st.RowsRemapped++
+			st.EdgesRemapped += off[u+1] - off[u]
+			continue
+		}
 		// Merge the dirty row: remap surviving neighbors through perm, drop
 		// one occurrence per deletion, append the additions, and re-sort by
 		// (neighbor, weight).

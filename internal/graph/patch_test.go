@@ -227,8 +227,8 @@ func TestPatchEdgesPermMatchesRelabel(t *testing.T) {
 			if !Equal(patched, want) {
 				t.Fatalf("weighted=%v trial %d: patched graph differs from relabel+rebuild", weighted, trial)
 			}
-			if st.EdgesCopied+st.EdgesMerged < patched.NumEdges() {
-				t.Fatalf("stats cover %d edges of %d", st.EdgesCopied+st.EdgesMerged, patched.NumEdges())
+			if covered := st.EdgesCopied + st.EdgesMerged + st.EdgesRemapped; covered < patched.NumEdges() {
+				t.Fatalf("stats cover %d edges of %d", covered, patched.NumEdges())
 			}
 			g = patched // chain: later trials patch an already-patched graph
 		}
@@ -256,9 +256,172 @@ func TestPatchEdgesPermPure(t *testing.T) {
 	if st.EdgesCopied == 0 {
 		t.Fatalf("pure swap should block-copy untouched rows: %+v", st)
 	}
-	// Rows incident to the swap are merged; the 0->1->2 chain is untouched.
-	if st.EdgesMerged == 0 || st.EdgesMerged >= patched.NumEdges()*2 {
-		t.Fatalf("unexpected merge volume: %+v", st)
+	// Rows incident to the swap are remapped (no adds or deletes touch
+	// them); the 0->1->2 chain is untouched and nothing needs a merge.
+	if st.EdgesRemapped == 0 || st.EdgesMerged != 0 {
+		t.Fatalf("unexpected rewrite split: %+v", st)
+	}
+}
+
+// TestPatchEdgesNGrowth checks identity-map growth: the patched graph equals
+// rebuilding from scratch over the larger vertex space, appended rows start
+// empty unless adds reference them, and untouched rows block-copy.
+func TestPatchEdgesNGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, nNew = 40, 55
+	edges := make([]Edge, 0, 300)
+	for i := 0; i < 300; i++ {
+		edges = append(edges, Edge{Src: VertexID(rng.Intn(n)), Dst: VertexID(rng.Intn(n)), Weight: 1})
+	}
+	g, err := FromEdges(n, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := []Edge{{Src: 41, Dst: 3, Weight: 1}, {Src: 2, Dst: 50, Weight: 1}, {Src: 54, Dst: 54, Weight: 1}}
+	dels := []Edge{g.Edges()[0]}
+	patched, st, err := g.PatchEdgesN(nNew, adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.NumVertices() != nNew {
+		t.Fatalf("vertex count %d, want %d", patched.NumVertices(), nNew)
+	}
+	live := g.Edges()[1:]
+	want, err := FromEdges(nNew, append(append([]Edge(nil), live...), adds...), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(patched, want) {
+		t.Fatal("grown patch differs from scratch rebuild")
+	}
+	if st.EdgesCopied == 0 {
+		t.Fatalf("growth patch should block-copy untouched rows: %+v", st)
+	}
+	if patched.OutDegree(45) != 0 || patched.InDegree(45) != 0 {
+		t.Fatal("appended vertex without adds should have empty rows")
+	}
+	// Deleting from an appended (empty) row must fail.
+	if _, _, err := g.PatchEdgesN(nNew, nil, []Edge{{Src: 50, Dst: 0, Weight: 1}}); err == nil {
+		t.Error("expected missing-edge error for appended-row delete")
+	}
+	// Shrinking is rejected.
+	if _, _, err := g.PatchEdgesN(n-1, nil, nil); err == nil {
+		t.Error("expected shrink error")
+	}
+}
+
+// growthInjection builds the segment-growth map shape: old IDs shift up by
+// the number of slots inserted before them, leaving holes for new vertices.
+func growthInjection(n, nNew int, holes []VertexID) []VertexID {
+	isHole := make(map[VertexID]bool, len(holes))
+	for _, h := range holes {
+		isHole[h] = true
+	}
+	perm := make([]VertexID, 0, n)
+	for id := VertexID(0); int(id) < nNew && len(perm) < n; id++ {
+		if !isHole[id] {
+			perm = append(perm, id)
+		}
+	}
+	return perm
+}
+
+// TestPatchEdgesPermNGrowth drives the segment-growth contract: an injective
+// shift map with interior holes for admitted vertices, combined with swaps
+// and edge churn, equals relabel+rebuild over the grown space, and the
+// shifted rows go through the cheap remap path rather than merges.
+func TestPatchEdgesPermNGrowth(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(23))
+		const n = 60
+		edges := make([]Edge, 0, 400)
+		for i := 0; i < 400; i++ {
+			w := int32(1)
+			if weighted {
+				w = int32(rng.Intn(5) + 1)
+			}
+			edges = append(edges, Edge{Src: VertexID(rng.Intn(n)), Dst: VertexID(rng.Intn(n)), Weight: w})
+		}
+		g, err := FromEdges(n, edges, weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			nOld := g.NumVertices()
+			growth := 1 + rng.Intn(5)
+			nNew := nOld + growth
+			holes := make([]VertexID, 0, growth)
+			seen := make(map[VertexID]bool)
+			for len(holes) < growth {
+				h := VertexID(rng.Intn(nNew))
+				if !seen[h] {
+					seen[h] = true
+					holes = append(holes, h)
+				}
+			}
+			perm := growthInjection(nOld, nNew, holes)
+			// A couple of swaps on top of the shift, as a repair would leave.
+			for s := 0; s < rng.Intn(3); s++ {
+				a, b := rng.Intn(nOld), rng.Intn(nOld)
+				perm[a], perm[b] = perm[b], perm[a]
+			}
+			live := g.Edges()
+			var dels []Edge
+			for i := 0; i < 10 && len(live) > 0; i++ {
+				j := rng.Intn(len(live))
+				e := live[j]
+				dels = append(dels, Edge{Src: perm[e.Src], Dst: perm[e.Dst], Weight: e.Weight})
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			var adds []Edge
+			for i := 0; i < 15; i++ {
+				w := int32(1)
+				if weighted {
+					w = int32(rng.Intn(5) + 1)
+				}
+				// Half the adds touch the new vertices.
+				var e Edge
+				if i%2 == 0 && len(holes) > 0 {
+					e = Edge{Src: holes[rng.Intn(len(holes))], Dst: VertexID(rng.Intn(nNew)), Weight: w}
+				} else {
+					e = Edge{Src: VertexID(rng.Intn(nNew)), Dst: VertexID(rng.Intn(nNew)), Weight: w}
+				}
+				adds = append(adds, e)
+			}
+			patched, st, err := g.PatchEdgesPermN(nNew, adds, dels, perm)
+			if err != nil {
+				t.Fatalf("weighted=%v trial %d: %v", weighted, trial, err)
+			}
+			want, err := FromEdges(nNew, append(applyPermToEdges(live, perm), adds...), weighted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(patched, want) {
+				t.Fatalf("weighted=%v trial %d: grown perm patch differs from relabel+rebuild", weighted, trial)
+			}
+			if covered := st.EdgesCopied + st.EdgesMerged + st.EdgesRemapped; covered < patched.NumEdges() {
+				t.Fatalf("stats cover %d edges of %d", covered, patched.NumEdges())
+			}
+			g = patched // chain growth across trials
+		}
+	}
+}
+
+// TestPatchEdgesPermNErrors validates the injection argument.
+func TestPatchEdgesPermNErrors(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.PatchEdgesPermN(4, nil, nil, []VertexID{0, 1, 1}); err == nil {
+		t.Error("expected non-injective error")
+	}
+	if _, _, err := g.PatchEdgesPermN(4, nil, nil, []VertexID{0, 1, 4}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, _, err := g.PatchEdgesPermN(4, nil, nil, []VertexID{0, 1, 3}); err != nil {
+		t.Errorf("injection into grown space should be accepted: %v", err)
 	}
 }
 

@@ -86,36 +86,49 @@ func New(g *graph.Graph, cfg Config) (*GraphGrind, error) {
 // Patch builds a GraphGrind engine over g — a graph whose edge content
 // differs from gg's only inside partitions for which dirty reports true —
 // reusing gg's materialized per-partition COOs and metadata for every clean
-// partition. The caller guarantees that g has the same vertex count and that
-// gg's partition boundaries are still the ones to use: either the vertex
+// partition. The caller guarantees that gg's partition structure still
+// applies to g in one of two shapes. With bounds == nil, g has the same
+// vertex count and the boundaries are unchanged: either the vertex
 // placement did not change between the two graphs (perm == nil), or it
 // changed by a segment-local permutation perm (old ID → new ID, identity
-// outside the moved vertices) that kept every partition's vertex count — and
-// therefore the boundaries — fixed. With a non-nil perm the caller must
-// flag partitions owning a moved vertex as dirty, and partitions whose COO
-// references a moved source vertex via srcMoved (nil = none): dirty
-// partitions are rebuilt from g, srcMoved-only partitions are remapped — a
-// linear copy with source IDs rewritten through perm — and everything else
-// shares the previous epoch's structures outright.
+// outside the moved vertices) that kept every partition's vertex count —
+// and therefore the boundaries — fixed. With non-nil bounds (len(parts)+1
+// entries), the vertex space may additionally have grown: bounds are the
+// new partition boundaries, perm is an injection of the old ID space into
+// [0, bounds[last]) (the segment-growth shape: a per-partition shift plus
+// swaps), and g has bounds[last] vertices. The caller must flag partitions
+// owning a moved or admitted vertex as dirty, and partitions whose COO
+// references a moved source vertex via srcMoved (nil = none). Dirty and
+// grown partitions are rebuilt from g; partitions that merely shifted or
+// hold stale source references are remapped — a linear copy with IDs
+// rewritten through perm — and everything else shares the previous epoch's
+// structures outright.
 //
 // Remapped COOs keep their entry order, so a Hilbert- or CSR-ordered COO is
 // no longer strictly sorted at the handful of rewritten entries. Entry
 // order only shapes the modeled memory-access locality (dense traversal
 // applies the kernel per edge regardless of order), so correctness is
 // unaffected; the order fully heals at the partition's next rebuild.
-func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, dirty, srcMoved func(lo, hi graph.VertexID) bool) (*GraphGrind, engine.PatchStats, error) {
+func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, bounds []int64, dirty, srcMoved func(lo, hi graph.VertexID) bool) (*GraphGrind, engine.PatchStats, error) {
 	var st engine.PatchStats
-	if g.NumVertices() != gg.g.NumVertices() {
-		return nil, st, fmt.Errorf("graphgrind: patch vertex count %d != %d", g.NumVertices(), gg.g.NumVertices())
+	nNew := gg.g.NumVertices()
+	if bounds != nil {
+		if len(bounds) != len(gg.parts)+1 {
+			return nil, st, fmt.Errorf("graphgrind: patch bounds must have %d entries, got %d", len(gg.parts)+1, len(bounds))
+		}
+		nNew = int(bounds[len(bounds)-1])
+	}
+	if g.NumVertices() != nNew {
+		return nil, st, fmt.Errorf("graphgrind: patch vertex count %d != %d", g.NumVertices(), nNew)
 	}
 	parts := make([]partition.Partition, len(gg.parts))
 	coos := make([]*layout.COO, len(gg.coos))
-	rebuild := func(i int, pt partition.Partition) error {
-		np := partition.Partition{Lo: pt.Lo, Hi: pt.Hi}
-		for v := pt.Lo; v < pt.Hi; v++ {
+	rebuild := func(i int, lo, hi graph.VertexID) error {
+		np := partition.Partition{Lo: lo, Hi: hi}
+		for v := lo; v < hi; v++ {
 			np.Edges += g.InDegree(v)
 		}
-		c, err := layout.BuildRange(g, pt.Lo, pt.Hi, gg.cfg.Order)
+		c, err := layout.BuildRange(g, lo, hi, gg.cfg.Order)
 		if err != nil {
 			return err
 		}
@@ -126,23 +139,30 @@ func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, dirty, srcMov
 		return nil
 	}
 	for i, pt := range gg.parts {
-		if dirty(pt.Lo, pt.Hi) {
-			if err := rebuild(i, pt); err != nil {
+		newLo, newHi := pt.Lo, pt.Hi
+		if bounds != nil {
+			newLo, newHi = graph.VertexID(bounds[i]), graph.VertexID(bounds[i+1])
+		}
+		shifted := newLo != pt.Lo
+		grown := newHi-newLo != pt.Hi-pt.Lo
+		if dirty(newLo, newHi) || grown || (shifted && perm == nil) {
+			if err := rebuild(i, newLo, newHi); err != nil {
 				return nil, st, err
 			}
 			continue
 		}
-		if perm != nil && srcMoved != nil && srcMoved(pt.Lo, pt.Hi) {
-			c, ok := remapCOO(gg.coos[i], perm)
+		if perm != nil && (shifted || (srcMoved != nil && srcMoved(newLo, newHi))) {
+			c, ok := remapCOO(gg.coos[i], perm, int64(newLo)-int64(pt.Lo))
 			if !ok {
-				// A destination moved inside a partition the caller claimed
-				// clean; rebuild defensively rather than trust the contract.
-				if err := rebuild(i, pt); err != nil {
+				// A destination moved (or a vertex was admitted) inside a
+				// partition the caller claimed clean; rebuild defensively
+				// rather than trust the contract.
+				if err := rebuild(i, newLo, newHi); err != nil {
 					return nil, st, err
 				}
 				continue
 			}
-			parts[i] = pt
+			parts[i] = partition.Partition{Lo: newLo, Hi: newHi, Edges: pt.Edges}
 			coos[i] = c
 			st.PartsRemapped++
 			st.EdgesRemapped += pt.Edges
@@ -153,31 +173,56 @@ func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, dirty, srcMov
 		st.PartsReused++
 		st.EdgesReused += pt.Edges
 	}
+	ranges := gg.ranges
+	partOf := gg.partOf
+	if bounds != nil {
+		ranges = make([]engine.Range, len(parts))
+		partOf = make([]uint32, nNew)
+		for i, pt := range parts {
+			ranges[i] = engine.Range{Lo: pt.Lo, Hi: pt.Hi}
+			for v := pt.Lo; v < pt.Hi; v++ {
+				partOf[v] = uint32(i)
+			}
+		}
+	}
 	return &GraphGrind{
 		g:      g,
 		cfg:    gg.cfg,
 		parts:  parts,
-		ranges: gg.ranges,
+		ranges: ranges,
 		coos:   coos,
-		partOf: gg.partOf,
+		partOf: partOf,
 	}, st, nil
 }
 
-// remapCOO copies c with source IDs rewritten through perm. The partition's
-// destinations must be unmoved (its in-edge content would otherwise have
-// changed); ok=false reports a violation so the caller can rebuild. The
-// destination and weight arrays are shared with c, which is immutable.
-func remapCOO(c *layout.COO, perm []graph.VertexID) (*layout.COO, bool) {
+// remapCOO copies c with both endpoint IDs rewritten through perm. A clean
+// partition's in-edge content is unchanged, so its destinations must map
+// uniformly by the partition's shift delta (a swapped or admitted
+// destination would mean the content changed); ok=false reports a violation
+// so the caller can rebuild. Source vertices may move arbitrarily. The
+// weight array is shared with c, which is immutable; with a zero delta the
+// destination array is shared too.
+func remapCOO(c *layout.COO, perm []graph.VertexID, delta int64) (*layout.COO, bool) {
 	for _, d := range c.Dst {
-		if perm[d] != d {
+		if int(d) >= len(perm) || int64(perm[d]) != int64(d)+delta {
 			return nil, false
 		}
 	}
 	src := make([]graph.VertexID, len(c.Src))
 	for i, s := range c.Src {
+		if int(s) >= len(perm) {
+			return nil, false
+		}
 		src[i] = perm[s]
 	}
-	return &layout.COO{Src: src, Dst: c.Dst, Weight: c.Weight, Ordering: c.Ordering}, true
+	dst := c.Dst
+	if delta != 0 {
+		dst = make([]graph.VertexID, len(c.Dst))
+		for i, d := range c.Dst {
+			dst[i] = graph.VertexID(int64(d) + delta)
+		}
+	}
+	return &layout.COO{Src: src, Dst: dst, Weight: c.Weight, Ordering: c.Ordering}, true
 }
 
 // Name implements Engine.

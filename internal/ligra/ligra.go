@@ -52,7 +52,9 @@ func New(g *graph.Graph, cfg Config) *Ligra {
 // graph itself — so "patching" it across epochs is just a rebind of the
 // graph pointer with fresh metrics, valid under any renumbering of the
 // vertex space: identical ordering, a segment-local permutation from a
-// placement-preserving repair, or a full rebuild alike.
+// placement-preserving repair, a full rebuild, or a grown vertex count
+// alike. Growth re-derives the scheduling units (an O(n/grain) range
+// split); everything else carries over.
 func (l *Ligra) Rebind(g *graph.Graph) *Ligra {
 	if g.NumVertices() != l.g.NumVertices() {
 		return New(g, l.cfg)

@@ -259,6 +259,18 @@ type DynamicOptions struct {
 	// instead of scaling it with the degree spread; see
 	// internal/dynamic.Config.
 	DisableAdaptiveThreshold bool
+	// AutoGrow admits vertices on demand: an inserted edge whose endpoint
+	// is at or beyond the current vertex count grows the vertex space with
+	// zero-degree vertices (assigned to the least-loaded partitions)
+	// instead of failing the batch. Set it for dense-ID ApplyBatch streams
+	// that introduce vertices; sparse external IDs go through IngestBatch
+	// instead, which admits unseen vertices itself — the two admission
+	// paths cannot be mixed on one Dynamic (see IngestBatch).
+	AutoGrow bool
+	// DisableSegmentResort turns off the background one-segment-per-batch
+	// re-sort that counters intra-segment locality decay under
+	// placement-preserving maintenance; see internal/dynamic.Config.
+	DisableSegmentResort bool
 	// Engine configures the engines cached on published views: the virtual
 	// NUMA topology and GraphGrind's COO order. Partition counts and bounds
 	// come from the live ordering and are not configurable here.
@@ -293,6 +305,12 @@ type Dynamic struct {
 	sinceAnchor dynamic.ViewDelta
 	basisView   *View
 	latestMat   atomic.Pointer[View]
+
+	// alloc maps external vertex IDs onto the dense internal space; nil
+	// until the first IngestBatch call (dense-ID callers never pay for it).
+	// Atomic because reader goroutines resolve externals through views
+	// (View.Resolve) concurrently with the writer installing it.
+	alloc atomic.Pointer[dynamic.Allocator]
 }
 
 // NewDynamic wraps g for streaming updates, computing the initial ordering
@@ -305,6 +323,8 @@ func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 		CompactEvery:             opts.CompactEvery,
 		Repair:                   opts.Repair,
 		DisableAdaptiveThreshold: opts.DisableAdaptiveThreshold,
+		AutoGrow:                 opts.AutoGrow,
+		DisableSegmentResort:     opts.DisableSegmentResort,
 	})
 	if err != nil {
 		return nil, err
@@ -328,10 +348,93 @@ func (d *Dynamic) ApplyBatch(updates []EdgeUpdate) (DynamicBatchResult, error) {
 	return res, err
 }
 
+// ExternalEdgeUpdate is one timestamped edge insertion or deletion whose
+// endpoints are arbitrary, application-chosen external vertex IDs (sparse
+// 64-bit values). IngestBatch maps them onto the dense internal ID space
+// through the graph's allocator, admitting never-before-seen vertices.
+type ExternalEdgeUpdate struct {
+	Time int64
+	Src  uint64
+	Dst  uint64
+	// Weight is the weight of an inserted edge (0 means 1 on weighted
+	// graphs); for deletions a non-zero value selects among parallel edges.
+	Weight int32
+	// Del selects deletion of one (Src,Dst) edge occurrence.
+	Del bool
+}
+
+// IngestBatch is the external-ID ingest path: updates may mention vertices
+// that have never been seen before. Unseen endpoints of insertions are
+// interned — allocated the next dense internal IDs and admitted to the
+// graph as zero-degree vertices on the least-loaded partitions — before the
+// batch is applied and a fresh View published. Deletions mentioning an
+// unknown external ID fail (there is no such edge), stopping the batch like
+// any invalid update; updates before the failing one remain applied.
+// Single-writer, like ApplyBatch. Views expose the external↔internal
+// mapping via View.ExternalIDs, View.External and View.Resolve; algorithm
+// result arrays stay indexed by internal ID, whose external key is stable
+// across epochs because internal IDs are append-only.
+//
+// IngestBatch and dense-ID AutoGrow admissions cannot be mixed on one
+// Dynamic: a vertex admitted by ApplyBatch has no external ID, so a later
+// IngestBatch would hand its internal ID to a fresh external. Once
+// external ingest has begun, an IngestBatch that finds such vertices
+// returns an error without applying anything.
+func (d *Dynamic) IngestBatch(updates []ExternalEdgeUpdate) (DynamicBatchResult, error) {
+	alloc := d.alloc.Load()
+	if alloc == nil {
+		alloc = dynamic.NewAllocator()
+		// Vertices that predate external ingest keep their dense IDs as
+		// external identity.
+		alloc.SeedIdentity(d.inner.NumVertices())
+		d.alloc.Store(alloc)
+	} else if alloc.Len() < d.inner.NumVertices() {
+		return DynamicBatchResult{}, fmt.Errorf(
+			"vebo: %d vertices were admitted outside external ingest (dense AutoGrow); IngestBatch and AutoGrow cannot be mixed",
+			d.inner.NumVertices()-alloc.Len())
+	}
+	ups := make([]EdgeUpdate, 0, len(updates))
+	var ingestErr error
+	for i, u := range updates {
+		var src, dst VertexID
+		if u.Del {
+			var ok bool
+			if src, ok = alloc.Lookup(u.Src); ok {
+				dst, ok = alloc.Lookup(u.Dst)
+			}
+			if !ok {
+				ingestErr = fmt.Errorf("vebo: ingest update %d: delete of edge (%d,%d) with unknown endpoint", i, u.Src, u.Dst)
+				break
+			}
+		} else {
+			src, _ = alloc.Intern(u.Src)
+			dst, _ = alloc.Intern(u.Dst)
+		}
+		ups = append(ups, EdgeUpdate{Time: u.Time, Src: src, Dst: dst, Weight: u.Weight, Del: u.Del})
+	}
+	// Admit every interned vertex even when a later update failed, keeping
+	// the allocator and the graph's vertex space in lockstep.
+	admitted := alloc.Len() - d.inner.NumVertices()
+	if admitted > 0 {
+		d.inner.Grow(admitted)
+	}
+	res, err := d.inner.ApplyBatch(ups)
+	res.Admitted += admitted
+	d.publish()
+	if err == nil {
+		err = ingestErr
+	}
+	return res, err
+}
+
 // Snapshot materializes the live graph as an immutable CSR+CSC Graph any of
 // the three engines can traverse. Snapshots are cached per mutation epoch
 // and never mutated afterwards.
 func (d *Dynamic) Snapshot() *Graph { return d.inner.Snapshot() }
+
+// NumVertices reports the current vertex count; IngestBatch and AutoGrow
+// admissions raise it.
+func (d *Dynamic) NumVertices() int { return d.inner.NumVertices() }
 
 // Imbalance returns the incrementally tracked Δ(n) (edge) and δ(n) (vertex)
 // partition imbalances.
@@ -385,6 +488,18 @@ func (d *Dynamic) NewEngine(sys System, opts EngineOptions) (Engine, error) {
 // the recipe's real-world counterpart.
 func GenerateStream(recipe string, scale float64, ops int, seed int64) (*Graph, []EdgeUpdate, error) {
 	return gen.StreamFromRecipe(recipe, scale, ops, seed)
+}
+
+// StreamOptions tunes GenerateStreamOpts beyond the recipe churn profile:
+// Mirror for undirected symmetry, GrowFrac for vertex arrivals.
+type StreamOptions = gen.RecipeStreamOptions
+
+// GenerateStreamOpts is GenerateStream with extra options. With a non-zero
+// GrowFrac the stream interleaves vertex arrivals with the edge churn; feed
+// it to a Dynamic configured with AutoGrow (new vertices take dense IDs
+// beyond the base graph).
+func GenerateStreamOpts(recipe string, scale float64, ops int, seed int64, opts StreamOptions) (*Graph, []EdgeUpdate, error) {
+	return gen.StreamFromRecipeOpts(recipe, scale, ops, seed, opts)
 }
 
 // Baseline orderings (permutations old ID → new ID), for comparison with

@@ -43,6 +43,7 @@ type View struct {
 	anchorID   int64 // delta lineage the view was published under
 	nverts     int
 	parts      int
+	exts       []uint64     // internal → external IDs (nil without external ingest)
 	ord        *core.Result // shared immutable Perm/PartitionOf, counts frozen at publish
 	frozen     dynamic.Frozen
 	opts       EngineOptions
@@ -188,10 +189,14 @@ func (d *Dynamic) publish() {
 				// Subtract over-approximates Moved with the union of both
 				// windows; the numbering lineage is intact, so trim it to
 				// the vertices whose position actually differs from m's.
+				// Vertices admitted after m published have no position in
+				// m's space; growth accounting covers them, not Moved.
 				cur := d.inner.Ordering().Perm
 				base := m.ord.Perm
 				for w := range d.sinceAnchor.Moved {
-					if cur[w] == base[w] {
+					if int(w) >= len(base) {
+						delete(d.sinceAnchor.Moved, w)
+					} else if cur[w] == base[w] {
 						delete(d.sinceAnchor.Moved, w)
 					}
 				}
@@ -226,6 +231,9 @@ func (d *Dynamic) publish() {
 		delta:      d.sinceAnchor,
 		d:          d,
 		work:       d.work,
+	}
+	if alloc := d.alloc.Load(); alloc != nil {
+		v.exts = alloc.Externals(v.nverts)
 	}
 	v.basis.Store(basis)
 	d.work.epochs.Add(1)
@@ -263,8 +271,48 @@ func (d *Dynamic) registerMaterialized(v *View) {
 // monotonically across published views.
 func (v *View) Epoch() int64 { return v.epoch }
 
-// NumVertices reports the vertex count.
+// NumVertices reports the vertex count at the view's epoch. Internal
+// (original) vertex IDs are append-only across epochs: a vertex keeps its ID
+// forever, and views of later epochs extend earlier result arrays
+// position-for-position.
 func (v *View) NumVertices() int { return v.nverts }
+
+// ExternalIDs returns the internal→external ID table of the view's epoch
+// (index = the original vertex ID every algorithm result array is keyed by),
+// or nil when the graph was never fed through external ingest
+// (Dynamic.IngestBatch). The slice is immutable and safe to retain.
+func (v *View) ExternalIDs() []uint64 { return v.exts }
+
+// External resolves an internal (original) vertex ID to its external ID;
+// ok is false when the view predates external ingest or id is out of range.
+func (v *View) External(id VertexID) (ext uint64, ok bool) {
+	if v.exts == nil || int(id) >= len(v.exts) {
+		return 0, false
+	}
+	return v.exts[id], true
+}
+
+// Resolve maps an external vertex ID to the internal (original) ID all
+// algorithm inputs and outputs use; ok is false when the external ID was
+// unknown at the view's epoch (it may exist in later views) or the view
+// predates external ingest entirely (ExternalIDs() == nil, so Resolve
+// stays consistent with External on the same view).
+func (v *View) Resolve(ext uint64) (VertexID, bool) {
+	if v.exts == nil || v.d == nil {
+		return 0, false
+	}
+	alloc := v.d.alloc.Load()
+	if alloc == nil {
+		return 0, false
+	}
+	// The allocator is append-only, so its lookup agrees with the pinned
+	// exts table for every ID below the view's vertex count.
+	id, ok := alloc.Lookup(ext)
+	if !ok || int(id) >= v.nverts {
+		return 0, false
+	}
+	return id, true
+}
 
 // NumEdges reports the live edge count at the view's epoch.
 func (v *View) NumEdges() int64 { return v.frozen.NumEdges() }
@@ -275,17 +323,19 @@ func (v *View) Ordering() *Result { return &Result{inner: v.ord} }
 // Snapshot materializes (once, lazily) the view's graph in original vertex
 // IDs. When the basis view already materialized its snapshot, this view's
 // is patched from it row-wise through the identity ordering — original IDs
-// never change, so snapshot patching works across repair and even rebuild
-// epochs — instead of being materialized from the delta log in O(m). The
-// result is immutable and safe to share.
+// never change and admitted vertices only extend the row array, so snapshot
+// patching works across repair, growth and even rebuild epochs — instead of
+// being materialized from the delta log in O(m). The result is immutable
+// and safe to share.
 func (v *View) Snapshot() *Graph {
 	v.snapOnce.Do(func() {
 		if b := v.basis.Load(); b != nil {
 			if bs := b.snapP.Load(); bs != nil {
 				adds, dels := v.delta.AddsDels()
-				if s, st, err := bs.PatchEdges(adds, dels); err == nil {
+				if s, st, err := bs.PatchEdgesN(v.nverts, adds, dels); err == nil {
 					v.work.graphPatches.Add(1)
 					v.work.patchedEdges.Add(st.EdgesMerged)
+					v.work.relabelEdges.Add(st.EdgesRemapped)
 					v.work.reusedEdges.Add(st.EdgesCopied)
 					v.snapP.Store(s)
 					return
@@ -303,21 +353,26 @@ func (v *View) Snapshot() *Graph {
 	return snap
 }
 
-// segPerm returns the segment-local permutation mapping the basis view's
-// new-ID space onto this view's (nil when no vertex moved): identity
-// everywhere except the positions of delta.Moved vertices, whose IDs were
-// exchanged by placement-preserving swap repairs. Valid only while the
-// numbering lineage is intact (!delta.PlacementChanged).
+// segPerm returns the segment-local injection mapping the basis view's
+// new-ID space into this view's (nil when nothing moved and nothing grew).
+// Without growth it is a permutation: identity everywhere except the
+// positions of delta.Moved vertices, whose IDs were exchanged by
+// placement-preserving swap repairs (or segment re-sorts). With growth it
+// additionally shifts every position by the number of segment slots
+// admitted before it, leaving the admitted vertices' positions without a
+// preimage. Valid only while the numbering lineage is intact
+// (!delta.PlacementChanged).
 func (v *View) segPerm(b *View) []VertexID {
 	v.segOnce.Do(func() {
-		if len(v.delta.Moved) == 0 {
+		if len(v.delta.Moved) == 0 && v.nverts == b.nverts {
 			return
 		}
-		seg := make([]VertexID, v.nverts)
-		for i := range seg {
-			seg[i] = VertexID(i)
-		}
-		for w := range v.delta.Moved {
+		// Internal IDs are append-only, so the basis's internal space is
+		// exactly the prefix [0, b.nverts) of this view's; composing the
+		// two orderings over it yields the basis-position → this-position
+		// map directly.
+		seg := make([]VertexID, b.nverts)
+		for w := 0; w < b.nverts; w++ {
 			seg[b.ord.Perm[w]] = v.ord.Perm[w]
 		}
 		v.seg = seg
@@ -339,10 +394,11 @@ func (v *View) Reordered() (*Graph, error) {
 				perm := v.ord.Perm
 				mapEndpoints(adds, perm)
 				mapEndpoints(dels, perm)
-				rg, st, err := brg.PatchEdgesPerm(adds, dels, v.segPerm(b))
+				rg, st, err := brg.PatchEdgesPermN(v.nverts, adds, dels, v.segPerm(b))
 				if err == nil {
 					v.work.graphPatches.Add(1)
 					v.work.patchedEdges.Add(st.EdgesMerged)
+					v.work.relabelEdges.Add(st.EdgesRemapped)
 					v.work.reusedEdges.Add(st.EdgesCopied)
 					v.rgp.Store(rg)
 					return
@@ -400,19 +456,22 @@ func rangePredicate(ids []VertexID) func(lo, hi VertexID) bool {
 }
 
 // dirtyPredicate reports whether a destination-vertex range owns any edge
-// that changed since the basis view, or contains a vertex repositioned by a
-// placement-preserving repair. Destination-partitioned engine structures
-// (COOs, partition metadata, scheduling units) depend only on the in-edges
-// of their range, so the exact dirty set is the net delta's destination
-// endpoints plus the moved vertices' positions, mapped into the view's
-// relabeled space. (The moved positions form the same set in the basis's
-// space: swaps permute IDs within the set, so flagging the current
-// positions covers both endpoints' stale ranges.)
+// that changed since the basis view, contains a vertex repositioned by a
+// placement-preserving repair, or contains a vertex admitted since the
+// basis. Destination-partitioned engine structures (COOs, partition
+// metadata, scheduling units) depend only on the in-edges of their range,
+// so the exact dirty set is the net delta's destination endpoints, the
+// moved vertices' positions and the admitted vertices' positions, mapped
+// into the view's relabeled space. (Moves permute IDs within a closed
+// position set — a swap, rotation or re-sort always parks an incoming
+// vertex where an outgoing one sat — so flagging the current positions
+// covers every partition whose membership changed.)
 func (v *View) dirtyPredicate() func(lo, hi VertexID) bool {
 	v.dirtyOnce.Do(func() {
 		perm := v.ord.Perm
-		seen := make(map[VertexID]struct{}, len(v.delta.Net)+len(v.delta.Moved))
-		dirty := make([]VertexID, 0, len(v.delta.Net)+len(v.delta.Moved))
+		grown := int(v.delta.GrownTotal())
+		seen := make(map[VertexID]struct{}, len(v.delta.Net)+len(v.delta.Moved)+grown)
+		dirty := make([]VertexID, 0, len(v.delta.Net)+len(v.delta.Moved)+grown)
 		add := func(id VertexID) {
 			if _, ok := seen[id]; !ok {
 				seen[id] = struct{}{}
@@ -423,6 +482,11 @@ func (v *View) dirtyPredicate() func(lo, hi VertexID) bool {
 			add(perm[e.Dst])
 		}
 		for w := range v.delta.Moved {
+			add(perm[w])
+		}
+		// Admissions are append-only in the internal space, so the vertices
+		// admitted in the delta's window are exactly the internal tail.
+		for w := v.nverts - grown; w < v.nverts; w++ {
 			add(perm[w])
 		}
 		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
@@ -437,8 +501,14 @@ func (v *View) dirtyPredicate() func(lo, hi VertexID) bool {
 // (GraphGrind's COOs) hold stale references and must be remapped through
 // the segment permutation. The set is the destinations of the moved
 // vertices' current out-edges; edges they lost since the basis appear in
-// the net delta and dirty their destinations through dirtyPredicate.
+// the net delta and dirty their destinations through dirtyPredicate. When
+// the vertex space grew, every segment after the first grown one shifted,
+// so any partition may hold stale source IDs: the predicate goes
+// conservative (always true) and clean partitions take the linear remap.
 func (v *View) srcMovedPredicate(rg *Graph) func(lo, hi VertexID) bool {
+	if v.delta.GrownTotal() > 0 {
+		return func(lo, hi VertexID) bool { return true }
+	}
 	v.srcOnce.Do(func() {
 		if len(v.delta.Moved) == 0 {
 			return
@@ -536,9 +606,17 @@ func (v *View) buildEngine(sys System) (Engine, error) {
 
 // patchEngine derives this view's engine from the basis view b's by
 // rebuilding only dirty partitions, remapping partitions whose stored
-// source IDs moved, and sharing the rest. Reports ok=false to fall back to
+// source IDs moved (or whose ranges shifted after growth), and sharing the
+// rest. Grown epochs hand the engines the new partition boundaries so the
+// segment shifts are applied structurally. Reports ok=false to fall back to
 // a scratch build.
 func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine, bool) {
+	// nil bounds = "boundaries unchanged", the no-growth fast path that
+	// shares ranges and partition lookup tables outright.
+	var bounds []int64
+	if v.delta.GrownTotal() > 0 {
+		bounds = v.ord.Boundaries()
+	}
 	switch sys {
 	case Ligra:
 		le, ok := base.(*ligra.Ligra)
@@ -546,7 +624,8 @@ func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine,
 			return nil, false
 		}
 		// Ligra has no partitioned state: reuse the relabeled graph and the
-		// vertex-count-derived scheduling units as-is.
+		// vertex-count-derived scheduling units as-is (growth re-derives
+		// the units from the new vertex count inside Rebind).
 		v.work.enginePatches.Add(1)
 		v.work.reusedEdges.Add(rg.NumEdges())
 		return le.Rebind(rg), true
@@ -555,7 +634,10 @@ func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine,
 		if !ok {
 			return nil, false
 		}
-		e, st, err := pe.Patch(rg, v.segPerm(b), v.dirtyPredicate())
+		if bounds != nil {
+			bounds = core.CoarsenBounds(bounds, v.opts.topology().Sockets)
+		}
+		e, st, err := pe.Patch(rg, v.segPerm(b), bounds, v.dirtyPredicate())
 		if err != nil {
 			return nil, false
 		}
@@ -566,7 +648,7 @@ func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine,
 		if !ok {
 			return nil, false
 		}
-		e, st, err := ge.Patch(rg, v.segPerm(b), v.dirtyPredicate(), v.srcMovedPredicate(rg))
+		e, st, err := ge.Patch(rg, v.segPerm(b), bounds, v.dirtyPredicate(), v.srcMovedPredicate(rg))
 		if err != nil {
 			return nil, false
 		}
