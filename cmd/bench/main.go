@@ -4,8 +4,12 @@
 //
 //	bench -exp table3 -scale 0.2 -seed 42 -partitions 384
 //	bench -exp all
+//	bench -wall -quick -json out/
 //
-// See DESIGN.md §3 for the experiment index.
+// -wall is shorthand for -exp wall, the wall-clock latency harness: real
+// (not modeled) ingest and query latencies with p50/p95/p99, written as
+// BENCH_wall.json when -json names a directory. See DESIGN.md §3 for the
+// experiment index and §6 for the JSON report schema.
 package main
 
 import (
@@ -26,7 +30,13 @@ func main() {
 	sockets := flag.Int("sockets", 4, "modeled NUMA sockets")
 	threads := flag.Int("threads", 12, "modeled threads per socket")
 	quick := flag.Bool("quick", false, "CI smoke mode: small graphs, 2–3 streaming batches, and fail if the view experiment's maintained-row work ratio drops to ≤ 1×")
+	wall := flag.Bool("wall", false, "shorthand for -exp wall: measure real ingest/query latency (p50/p95/p99) instead of modeled work")
+	jsonDir := flag.String("json", "", "directory receiving BENCH_<experiment>.json reports (empty: no JSON)")
 	flag.Parse()
+
+	if *wall {
+		*exp = "wall"
+	}
 
 	if *quick {
 		scaleSet := false
@@ -46,6 +56,13 @@ func main() {
 		Topology:   numa.Topology{Sockets: *sockets, ThreadsPerSocket: *threads},
 		Out:        os.Stdout,
 		Quick:      *quick,
+		JSONDir:    *jsonDir,
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 	}
 	if err := bench.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

@@ -20,15 +20,28 @@
 // serving topology the facade is built for:
 //
 //	vebo serve -recipe powerlaw -scale 0.2 -ops 50000 -batch 256 -queriers 4 -alg pagerank
+//
+// While serving it exposes the observability endpoints on -http (default: an
+// ephemeral localhost port, printed at startup): /metrics (Prometheus text),
+// /metrics.json, /trace (the epoch-lifecycle event ring) and /debug/pprof.
+// A stats line prints every -stats interval, and SIGINT/SIGTERM stops the
+// ingest gracefully, prints the summary and flushes the final metrics and
+// trace snapshot to stdout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	vebo "repro"
@@ -36,6 +49,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func runStream(args []string) error {
@@ -103,6 +117,10 @@ func runStream(args []string) error {
 		float64(st.Updates)/elapsed.Seconds())
 	fmt.Printf("maintenance: %d repairs (%d vertices), %d full rebuilds, %d compactions\n",
 		st.Repairs, st.RepairedVertices, st.FullRebuilds, st.Compactions)
+	if st.RotationAttempts > 0 {
+		fmt.Printf("rotation search: %d attempts, %d index fallbacks, %d stalls\n",
+			st.RotationAttempts, st.RotationFallbacks, st.RotationStalls)
+	}
 	if st.Admitted > 0 {
 		fmt.Printf("admitted %d vertices (n now %d)\n", st.Admitted, d.NumVertices())
 	}
@@ -141,6 +159,8 @@ func runServe(args []string) error {
 	noreuse := fs.Bool("noreuse", false, "rebuild engines from scratch every epoch instead of patching")
 	pace := fs.Duration("pace", 0, "delay between ingestion batches (0: ingest at full speed)")
 	seed := fs.Int64("seed", 42, "generator seed")
+	httpAddr := fs.String("http", "127.0.0.1:0", "address serving /metrics, /metrics.json, /trace and /debug/pprof (empty: disabled)")
+	statsEvery := fs.Duration("stats", 5*time.Second, "interval between periodic stats lines (0: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,6 +216,31 @@ func runServe(args []string) error {
 		return err
 	}
 
+	// Observability endpoints: the dynamic graph's registry and tracer plus
+	// the standard pprof handlers, on an ephemeral port by default.
+	if *httpAddr != "" {
+		ln, lerr := net.Listen("tcp", *httpAddr)
+		if lerr != nil {
+			return fmt.Errorf("serve: -http listen: %w", lerr)
+		}
+		mux := http.NewServeMux()
+		obs.Register(mux, d.Metrics(), d.Trace())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (and /metrics.json, /trace, /debug/pprof)\n", ln.Addr())
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the ingest loop at the next
+	// batch boundary; the summary and a final metrics+trace flush follow.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	n := g.NumVertices()
 	var queries, queryNanos, staleSum atomic.Int64
 	var queryErrOnce sync.Once
@@ -237,9 +282,42 @@ func runServe(args []string) error {
 		}(q)
 	}
 
+	// Periodic stats line, read entirely from the atomic registry handles so
+	// it never races the ingest writer.
+	if *statsEvery > 0 {
+		reg := d.Metrics()
+		qh := reg.Histogram("vebo_query_ns", "alg", *alg, "sys", sys.String())
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					fmt.Printf("[stats] epoch=%d edges=%d Δ=%d pending=%d served=%d q_p50=%v q_p99=%v\n",
+						reg.Gauge("vebo_epoch").Value(),
+						reg.Gauge("vebo_live_edges").Value(),
+						reg.Gauge("vebo_edge_imbalance").Value(),
+						reg.Gauge("vebo_pending_ops").Value(),
+						queries.Load(),
+						time.Duration(qh.Quantile(0.50)).Round(time.Microsecond),
+						time.Duration(qh.Quantile(0.99)).Round(time.Microsecond))
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
-	batches := 0
-	for lo := 0; lo < len(updates); lo += *batch {
+	batches, ingested := 0, 0
+	interrupted := false
+	for lo := 0; lo < len(updates) && !interrupted; lo += *batch {
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			continue
+		default:
+		}
 		hi := lo + *batch
 		if hi > len(updates) {
 			hi = len(updates)
@@ -250,6 +328,7 @@ func runServe(args []string) error {
 			return err
 		}
 		batches++
+		ingested = hi
 		if *pace > 0 {
 			time.Sleep(*pace)
 		}
@@ -262,10 +341,13 @@ func runServe(args []string) error {
 		return queryErr
 	}
 
+	if interrupted {
+		fmt.Printf("interrupted: stopped ingest after %d of %d updates\n", ingested, len(updates))
+	}
 	served := queries.Load()
 	fmt.Printf("ingested %d updates (%d batches) in %v while serving: %.0f updates/s\n",
-		len(updates), batches, ingestElapsed.Round(time.Millisecond),
-		float64(len(updates))/ingestElapsed.Seconds())
+		ingested, batches, ingestElapsed.Round(time.Millisecond),
+		float64(ingested)/ingestElapsed.Seconds())
 	fmt.Printf("served %d %s/%s queries from %d goroutines: %.1f queries/s",
 		served, *system, *alg, *queriers, float64(served)/wall.Seconds())
 	if served > 0 {
@@ -283,11 +365,29 @@ func runServe(args []string) error {
 	st := d.Stats()
 	fmt.Printf("maintenance: %d repairs (%d swaps, %d rotations), %d segment re-sorts, %d full rebuilds\n",
 		st.Repairs, st.Swaps, st.Rotations, st.Resorts, st.FullRebuilds)
+	if st.RotationAttempts > 0 {
+		fmt.Printf("rotation search: %d attempts, %d index fallbacks, %d stalls\n",
+			st.RotationAttempts, st.RotationFallbacks, st.RotationStalls)
+	}
 	if st.Admitted > 0 {
 		fmt.Printf("admitted %d vertices (n now %d)\n", st.Admitted, d.NumVertices())
 	}
 	edge, vert := d.Imbalance()
 	fmt.Printf("final Δ(n)=%d δ(n)=%d over %d partitions\n", edge, vert, *parts)
+
+	// On interrupt, flush the complete final state so a scrape-free run still
+	// leaves a machine-readable record of where the pipeline stopped.
+	if interrupted {
+		fmt.Println("--- final metrics (prometheus text) ---")
+		if err := d.Metrics().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("--- final trace (json) ---")
+		if err := d.Trace().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

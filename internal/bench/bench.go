@@ -43,6 +43,10 @@ type Config struct {
 	// reporting — when the maintained-row work ratio regresses to ≤ 1×
 	// (i.e. when engine patching stops applying under active maintenance).
 	Quick bool
+	// JSONDir, when non-empty, receives one BENCH_<experiment>.json report
+	// per JSON-emitting experiment (wall, view, grow); see Report for the
+	// schema. Empty disables emission.
+	JSONDir string
 }
 
 // WithDefaults fills in the paper's defaults.
@@ -67,7 +71,7 @@ func (c Config) WithDefaults() Config {
 
 // Experiments lists the available experiment names in paper order.
 func Experiments() []string {
-	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners", "dynamic", "view", "grow"}
+	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners", "dynamic", "view", "grow", "wall"}
 }
 
 // Run executes the named experiment ("all" runs every one).
@@ -100,6 +104,8 @@ func Run(name string, cfg Config) error {
 		return View(cfg)
 	case "grow":
 		return Grow(cfg)
+	case "wall":
+		return Wall(cfg)
 	case "all":
 		for _, e := range Experiments() {
 			if err := Run(e, cfg); err != nil {

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -27,7 +30,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 13 {
+	if len(Experiments()) != 14 {
 		t.Fatalf("experiment count = %d", len(Experiments()))
 	}
 }
@@ -44,6 +47,85 @@ func TestGrowSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWallSmoke mirrors the CI gate on the wall-clock harness: quick mode
+// must produce a parseable BENCH_wall.json with an ingest series and
+// populated p99 fields for BFS and PageRank on all three framework models.
+func TestWallSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Quick = true
+	cfg.JSONDir = t.TempDir()
+	if err := Run("wall", cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_wall.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("BENCH_wall.json invalid: %v", err)
+	}
+	if r.Experiment != "wall" || r.GeneratedUnix == 0 {
+		t.Fatalf("report header = %+v", r)
+	}
+	seen := map[string]bool{}
+	for _, s := range r.Series {
+		key := s.Op
+		if s.Alg != "" {
+			key += ":" + s.Alg + ":" + s.System
+		}
+		seen[key] = true
+		if s.Count == 0 || s.P99Ms <= 0 || s.P50Ms <= 0 {
+			t.Errorf("series %s not populated: %+v", key, s)
+		}
+	}
+	for _, want := range []string{
+		"ingest",
+		"query:bfs:ligra", "query:pagerank:ligra",
+		"query:bfs:polymer", "query:pagerank:polymer",
+		"query:bfs:graphgrind", "query:pagerank:graphgrind",
+	} {
+		if !seen[want] {
+			t.Errorf("missing series %s (have %v)", want, seen)
+		}
+	}
+	for _, gt := range r.Gates {
+		if !gt.Pass {
+			t.Errorf("gate failed: %+v", gt)
+		}
+	}
+}
+
+// TestViewQuickEmitsJSON checks the satellite: the quick work-ratio gates are
+// also emitted as a JSON report with the shared schema.
+func TestViewQuickEmitsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Quick = true
+	cfg.JSONDir = t.TempDir()
+	if err := Run("view", cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_view.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("BENCH_view.json invalid: %v", err)
+	}
+	if len(r.Gates) != 1 || r.Gates[0].Name != "work_ratio_maintained" {
+		t.Fatalf("gates = %+v", r.Gates)
+	}
+	if !r.Gates[0].Pass {
+		t.Errorf("maintained gate failed in JSON but Run returned nil: %+v", r.Gates[0])
+	}
+	if r.Modeled["work_ratio_patched"] <= 0 {
+		t.Errorf("modeled work_ratio_patched missing: %+v", r.Modeled)
 	}
 }
 

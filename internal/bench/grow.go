@@ -176,6 +176,23 @@ func Grow(cfg Config) error {
 		maintainedRatio, maintainedRatio > 1)
 	fmt.Fprintf(w, "wall ratio (rebuild/patched elapsed): %.1f×\n\n",
 		rows[1].elapsed.Seconds()/rows[0].elapsed.Seconds())
+	if err := writeReport(cfg, Report{
+		Experiment: "grow",
+		Config:     ReportConfig{Scale: cfg.Scale, Seed: cfg.Seed, Ops: len(updates), Batch: growBatch, Quick: cfg.Quick},
+		// Gates mirror exactly the checks Quick mode enforces in-process.
+		Gates: []Gate{
+			{Name: "grow_batch_frac", Value: growBatchFrac, Threshold: 0.10, Pass: growBatchFrac >= 0.10},
+			{Name: "work_ratio_maintained", Value: maintainedRatio, Threshold: 1, Pass: maintainedRatio > 1},
+		},
+		Modeled: map[string]float64{
+			"work_ratio_patched":            ratio,
+			"rebuild_construction_edges":    float64(rebuildWork),
+			"patched_construction_edges":    float64(constructionWork(rows[0])),
+			"maintained_construction_edges": float64(constructionWork(rows[2])),
+		},
+	}); err != nil {
+		return err
+	}
 	if cfg.Quick {
 		if growBatchFrac < 0.10 {
 			return fmt.Errorf("grow: only %.0f%% of batches introduce vertices — the stream no longer exercises growth", 100*growBatchFrac)

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Report is the machine-readable result record shared by every experiment
+// that emits JSON (wall, view, grow). CI parses these files, so the schema is
+// append-only: new fields may be added, existing ones keep their names.
+type Report struct {
+	Experiment    string          `json:"experiment"`
+	GeneratedUnix int64           `json:"generated_unix"`
+	Config        ReportConfig    `json:"config"`
+	Series        []LatencySeries `json:"series,omitempty"`
+	Gates         []Gate          `json:"gates,omitempty"`
+	// Modeled carries work-unit numbers (construction edges, ratios) that
+	// have no wall-clock dimension; see DESIGN.md §6 on why the two are
+	// reported side by side instead of being conflated.
+	Modeled map[string]float64 `json:"modeled,omitempty"`
+}
+
+// ReportConfig records the knobs that shaped the run.
+type ReportConfig struct {
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+	Ops   int     `json:"ops,omitempty"`
+	Batch int     `json:"batch,omitempty"`
+	Quick bool    `json:"quick"`
+}
+
+// LatencySeries is one measured operation stream: ingest batches or queries
+// of one algorithm on one framework model. Latencies are wall-clock
+// milliseconds from the obs registry's log-bucketed histograms (2× quantile
+// error bound).
+type LatencySeries struct {
+	Op        string  `json:"op"`               // "ingest" or "query"
+	Alg       string  `json:"alg,omitempty"`    // query algorithm, empty for ingest
+	System    string  `json:"system,omitempty"` // framework model, empty for ingest
+	Count     int64   `json:"count"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+}
+
+// Gate is a pass/fail check the experiment enforces in Quick mode; CI fails
+// when any emitted gate has pass=false, mirroring the in-process error.
+type Gate struct {
+	Name      string  `json:"name"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Pass      bool    `json:"pass"`
+}
+
+// seriesFromHistogram converts an obs histogram (nanosecond observations)
+// into a LatencySeries over the given wall-clock window.
+func seriesFromHistogram(op, alg, system string, h *obs.Histogram, elapsed time.Duration) LatencySeries {
+	s := LatencySeries{Op: op, Alg: alg, System: system, Count: h.Count()}
+	if elapsed > 0 {
+		s.OpsPerSec = float64(s.Count) / elapsed.Seconds()
+	}
+	const ms = 1e6
+	s.P50Ms = float64(h.Quantile(0.50)) / ms
+	s.P95Ms = float64(h.Quantile(0.95)) / ms
+	s.P99Ms = float64(h.Quantile(0.99)) / ms
+	s.MeanMs = h.Mean() / ms
+	return s
+}
+
+// writeReport writes BENCH_<experiment>.json into cfg.JSONDir; an empty
+// JSONDir disables emission (the library/test default).
+func writeReport(cfg Config, r Report) error {
+	if cfg.JSONDir == "" {
+		return nil
+	}
+	if r.GeneratedUnix == 0 {
+		r.GeneratedUnix = time.Now().Unix()
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(cfg.JSONDir, "BENCH_"+r.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	fmt.Fprintf(cfg.Out, "wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	vebo "repro"
+	"repro/internal/gen"
+)
+
+// wallOps is the stream length at the default scale (0.2); other scales
+// stream proportionally.
+const wallOps = 20_000
+
+// wallBatch is the serve-mode default: one view epoch per 256 updates.
+const wallBatch = 256
+
+// wallQueries is the per-(algorithm, system) query count outside Quick mode.
+const wallQueries = 5
+
+// Wall is the wall-clock latency harness (not a paper table). Unlike the
+// modeled experiments it reports real elapsed time: a powerlaw churn stream
+// is ingested batch by batch through the public Dynamic facade, then BFS and
+// PageRank run on the final view under all three framework models. Ingest
+// latency comes from the obs registry's vebo_batch_ns histogram and query
+// latency from vebo_query_ns{alg,sys} — the same series `vebo serve` exports
+// on /metrics — so the harness also proves the instrumentation path end to
+// end. Results are printed as a table and, when Config.JSONDir is set,
+// written as BENCH_wall.json (see Report). Query latencies include lazy
+// engine construction on each system's first query; that IS the first-query
+// latency a serving tier observes.
+func Wall(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	w := cfg.Out
+	ops := int(float64(wallOps) * cfg.Scale / 0.2)
+	if ops < 4*wallBatch {
+		ops = 4 * wallBatch
+	}
+	queries := wallQueries
+	if cfg.Quick {
+		ops = 3 * wallBatch
+		queries = 1
+	}
+	g, updates, err := gen.StreamFromRecipe("powerlaw", cfg.Scale, ops, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== Extension: wall-clock latency harness (powerlaw, %d updates, batch %d, P=%d) ==\n",
+		len(updates), wallBatch, 64)
+
+	d, err := vebo.NewDynamic(g, vebo.DynamicOptions{
+		Partitions: 64,
+		Engine: vebo.EngineOptions{
+			Sockets:          cfg.Topology.Sockets,
+			ThreadsPerSocket: cfg.Topology.ThreadsPerSocket,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ingestStart := time.Now()
+	for lo := 0; lo < len(updates); lo += wallBatch {
+		hi := lo + wallBatch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			return err
+		}
+	}
+	ingestElapsed := time.Since(ingestStart)
+
+	reg := d.Metrics()
+	series := []LatencySeries{
+		seriesFromHistogram("ingest", "", "", reg.Histogram("vebo_batch_ns"), ingestElapsed),
+	}
+
+	root := vebo.VertexID(pickRoot(g))
+	for _, sys := range []vebo.System{vebo.Ligra, vebo.Polymer, vebo.GraphGrind} {
+		for _, alg := range []string{"bfs", "pagerank"} {
+			qStart := time.Now()
+			for q := 0; q < queries; q++ {
+				v := d.View()
+				var qerr error
+				switch alg {
+				case "bfs":
+					_, qerr = v.BFS(sys, root)
+				case "pagerank":
+					_, qerr = v.PageRank(sys, 10)
+				}
+				if qerr != nil {
+					return fmt.Errorf("wall: %s/%s: %w", sys, alg, qerr)
+				}
+			}
+			h := reg.Histogram("vebo_query_ns", "alg", alg, "sys", sys.String())
+			series = append(series, seriesFromHistogram("query", alg, sys.String(), h, time.Since(qStart)))
+		}
+	}
+
+	fmt.Fprintf(w, "%-8s %-10s %-11s %8s %10s %10s %10s %10s\n",
+		"op", "alg", "system", "count", "ops/s", "p50_ms", "p99_ms", "mean_ms")
+	gates := make([]Gate, 0, len(series))
+	for _, s := range series {
+		name := s.Op
+		if s.Alg != "" {
+			name += ":" + s.Alg + ":" + s.System
+		}
+		fmt.Fprintf(w, "%-8s %-10s %-11s %8d %10.1f %10.3f %10.3f %10.3f\n",
+			s.Op, orDash(s.Alg), orDash(s.System), s.Count, s.OpsPerSec, s.P50Ms, s.P99Ms, s.MeanMs)
+		gates = append(gates, Gate{
+			Name: "p99_populated:" + name, Value: s.P99Ms, Threshold: 0, Pass: s.Count > 0 && s.P99Ms > 0,
+		})
+	}
+	work := d.ViewWork()
+	fmt.Fprintf(w, "wall ingest: %v total; engines: %d built, %d patched over %d epochs\n\n",
+		ingestElapsed.Round(time.Millisecond), work.EngineBuilds, work.EnginePatches, work.Epochs)
+
+	report := Report{
+		Experiment: "wall",
+		Config:     ReportConfig{Scale: cfg.Scale, Seed: cfg.Seed, Ops: len(updates), Batch: wallBatch, Quick: cfg.Quick},
+		Series:     series,
+		Gates:      gates,
+		Modeled: map[string]float64{
+			"epochs":         float64(work.Epochs),
+			"engine_builds":  float64(work.EngineBuilds),
+			"engine_patches": float64(work.EnginePatches),
+		},
+	}
+	if err := writeReport(cfg, report); err != nil {
+		return err
+	}
+	if cfg.Quick {
+		for _, gt := range gates {
+			if !gt.Pass {
+				return fmt.Errorf("wall: gate %s failed — latency series empty (count or p99 is zero)", gt.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

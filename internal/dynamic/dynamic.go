@@ -62,9 +62,11 @@ package dynamic
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // RepairMode selects how threshold-gated maintenance restores balance.
@@ -133,6 +135,15 @@ type Config struct {
 	// batches whose repairs or admissions disturbed it (RepairPreserve
 	// only). Exists for the locality-decay ablation.
 	DisableSegmentResort bool
+	// Metrics, when set, receives the subsystem's counters, gauges and
+	// latency histograms (the vebo_* series; see DESIGN.md §6). Nil disables
+	// metric collection at zero cost: the handles degrade to no-ops.
+	Metrics *obs.Registry
+	// Tracer, when set, receives one structured event per lifecycle step
+	// (batch, repair, rebuild, grow, resort, compact) with the cause and
+	// wall-clock duration alongside the modeled work counts. Nil disables
+	// tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultPartitions is the default VEBO partition count for dynamic graphs,
@@ -191,6 +202,15 @@ type Stats struct {
 	// Rotations is the number of three-way placement-preserving exchanges
 	// performed when no improving pair swap existed.
 	Rotations int64
+	// RotationAttempts counts rotation searches started (one per repair step
+	// that found no improving pair swap); RotationFallbacks counts the ones
+	// where the degree-indexed candidate scan found no positive-gain rotation
+	// and the exhaustive sweep ran; RotationStalls counts the ones where even
+	// the exhaustive sweep found nothing — the step that forces the caller's
+	// full-rebuild fallback.
+	RotationAttempts  int64
+	RotationFallbacks int64
+	RotationStalls    int64
 	// Admitted is the number of vertices added to the graph after
 	// construction (Grow and AutoGrow admissions).
 	Admitted int64
@@ -315,6 +335,12 @@ type Graph struct {
 	viewMoved map[graph.VertexID]struct{}
 	viewGrow  []int64
 	viewPlace bool
+
+	// m holds the metric handles (no-ops when Config.Metrics is nil — the
+	// struct is always populated so call sites never nil-check) and tr the
+	// lifecycle tracer (nil-tolerant itself).
+	m  dynMetrics
+	tr *obs.Tracer
 }
 
 // New wraps g in a dynamic graph, computing the initial VEBO ordering.
@@ -347,6 +373,11 @@ func New(g *graph.Graph, cfg Config) (*Graph, error) {
 	copy(d.assign, r.PartitionOf)
 	d.stats.Placements = int64(d.n)
 	d.snapCache, d.snapEpoch = g, 0
+	d.m = newDynMetrics(cfg.Metrics)
+	d.tr = cfg.Tracer
+	d.tr.Emit(obs.Event{Kind: "graph", Cause: "build", N: map[string]int64{
+		"vertices": int64(d.n), "edges": d.liveEdges, "partitions": int64(cfg.Partitions)}})
+	d.syncGauges()
 	return d, nil
 }
 
@@ -474,6 +505,7 @@ func (d *Graph) normWeight(w int32) int32 {
 // batch — one Grow call covers every arrival, and the admissions stand
 // like any applied update even if a later update aborts the batch.
 func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
+	start := time.Now()
 	var res BatchResult
 	if d.cfg.AutoGrow {
 		// Admit for the whole batch up front: Grow copies the cached
@@ -500,18 +532,18 @@ func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
 	}
 	for i, u := range updates {
 		if int(u.Src) >= d.n || int(u.Dst) >= d.n {
-			return d.finishBatch(res), fmt.Errorf("dynamic: update %d: edge (%d,%d) out of range n=%d", i, u.Src, u.Dst, d.n)
+			return d.finishBatch(res, start), fmt.Errorf("dynamic: update %d: edge (%d,%d) out of range n=%d", i, u.Src, u.Dst, d.n)
 		}
 		if u.Del {
 			if err := d.deleteEdge(u.Src, u.Dst, u.Weight); err != nil {
-				return d.finishBatch(res), fmt.Errorf("dynamic: update %d: %w", i, err)
+				return d.finishBatch(res, start), fmt.Errorf("dynamic: update %d: %w", i, err)
 			}
 		} else {
 			d.insertEdge(u.Src, u.Dst, u.Weight)
 		}
 		res.Applied++
 	}
-	return d.finishBatch(res), nil
+	return d.finishBatch(res, start), nil
 }
 
 // overThreshold reports whether either tracked imbalance exceeds its
@@ -581,19 +613,58 @@ func (d *Graph) refreshGranularity() {
 	d.adaptNext = d.stats.Updates + step
 }
 
-// finishBatch runs the end-of-batch maintenance and fills the result.
-func (d *Graph) finishBatch(res BatchResult) BatchResult {
+// finishBatch runs the end-of-batch maintenance and fills the result, emitting
+// the lifecycle trace events that answer "what did this epoch do, and why":
+// a "repair" event (cause "threshold-trip") when a gate fired, a "rebuild"
+// event whose cause names which escape hatch forced it, and one "batch"
+// event summarizing the epoch.
+func (d *Graph) finishBatch(res BatchResult, start time.Time) BatchResult {
 	preMoves := d.stats.Swaps + d.stats.Rotations
 	if d.overThreshold() {
+		preDelta, preVert := d.EdgeImbalance(), d.VertexImbalance()
+		rstart := time.Now()
+		var swaps, rots int64
+		var stalled bool
 		if d.cfg.Repair == RepairPreserve {
-			d.swapRepair()
+			swaps, rots, stalled = d.swapRepair()
 		} else {
 			d.repair()
 		}
+		rdur := time.Since(rstart)
+		d.m.repairs.Inc()
+		d.m.repairNS.Observe(int64(rdur))
 		res.Repaired = true
+		d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "repair", Cause: "threshold-trip", Dur: rdur,
+			N: map[string]int64{
+				"delta_before": preDelta, "delta_after": d.EdgeImbalance(),
+				"vertex_before": preVert, "vertex_after": d.VertexImbalance(),
+				"threshold": d.effEdgeThreshold(), "swaps": swaps, "rotations": rots,
+				"stalled": b2i(stalled),
+			}})
 		if d.overThreshold() {
+			// The repair could not pull the imbalances back under their
+			// gates; name why before falling back to the full reorder.
+			cause, ctr := "repair-shortfall", d.m.rebuildShortfall
+			if d.cfg.Repair == RepairPreserve {
+				switch {
+				case stalled:
+					cause, ctr = "rotation-stall", d.m.rebuildRotStall
+				case d.VertexImbalance() > d.cfg.VertexRebuildThreshold:
+					cause, ctr = "vertex-threshold", d.m.rebuildVertex
+				}
+			}
+			bstart := time.Now()
 			d.rebuild()
+			bdur := time.Since(bstart)
+			ctr.Inc()
+			d.m.rebuildNS.Observe(int64(bdur))
 			res.Rebuilt = true
+			d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "rebuild", Cause: cause, Dur: bdur,
+				N: map[string]int64{
+					"placements":   int64(d.n),
+					"delta_after":  d.EdgeImbalance(),
+					"vertex_after": d.VertexImbalance(),
+				}})
 		}
 	}
 	// Swaps, rotations and tail-appended admissions all decay the
@@ -610,6 +681,16 @@ func (d *Graph) finishBatch(res BatchResult) BatchResult {
 	}
 	res.EdgeImbalance = d.EdgeImbalance()
 	res.VertexImbalance = d.VertexImbalance()
+	d.m.batches.Inc()
+	d.m.batchNS.ObserveSince(start)
+	d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "batch", Dur: time.Since(start),
+		N: map[string]int64{
+			"applied": int64(res.Applied), "admitted": int64(res.Admitted),
+			"edge_imbalance": res.EdgeImbalance, "vertex_imbalance": res.VertexImbalance,
+			"repaired": b2i(res.Repaired), "rebuilt": b2i(res.Rebuilt),
+			"compacted": b2i(res.Compacted),
+		}})
+	d.syncGauges()
 	return res
 }
 
@@ -629,6 +710,7 @@ func (d *Graph) Grow(count int) graph.VertexID {
 	if count <= 0 {
 		return first
 	}
+	gstart := time.Now()
 	d.ensureOrdering()
 	p := d.cfg.Partitions
 	// Old segment boundaries in the new-ID space, derived from the
@@ -685,7 +767,36 @@ func (d *Graph) Grow(count int) graph.VertexID {
 	d.stats.Placements += int64(count)
 	d.resortPending = true
 	d.touch()
+	// An admission "spills" when some partition that already held vertices
+	// has slots inserted before its segment — its residents' new IDs all
+	// shift, the COW ordering copy is the price. Pure tail appends (all
+	// admissions landing after every populated segment) leave old IDs intact.
+	spilled := false
+	for q := 0; q < p; q++ {
+		if shift[q] > 0 && d.partVerts[q]-grow[q] > 0 {
+			spilled = true
+			break
+		}
+	}
+	cause := "tail-append"
+	if spilled {
+		cause = "growth-spill"
+		d.m.growthSpills.Inc()
+	}
+	d.m.admitted.Add(int64(count))
+	d.m.growNS.ObserveSince(gstart)
+	d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "grow", Cause: cause, Dur: time.Since(gstart),
+		N: map[string]int64{"admitted": int64(count), "vertices": int64(d.n), "shifted_slots": cum}})
+	d.syncGauges()
 	return first
+}
+
+// b2i renders a bool as a trace count.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // resortSegment restores the degree-descending (ID-ascending on ties) order
@@ -739,6 +850,9 @@ func (d *Graph) resortSegment() {
 	}
 	d.stats.Resorts++
 	d.stats.ResortedVertices += int64(len(moved))
+	d.m.resorts.Inc()
+	d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "resort", Cause: "locality-decay",
+		N: map[string]int64{"partition": int64(q), "moved": int64(len(moved))}})
 }
 
 func (d *Graph) insertEdge(s, dst graph.VertexID, w int32) {
@@ -754,6 +868,7 @@ func (d *Graph) insertEdge(s, dst graph.VertexID, w int32) {
 	d.touch()
 	d.stats.Updates++
 	d.stats.Inserts++
+	d.m.inserts.Inc()
 }
 
 // deleteEdge cancels one live (s,dst) occurrence. A non-zero wSel on a
@@ -808,6 +923,7 @@ func (d *Graph) deleteEdge(s, dst graph.VertexID, wSel int32) error {
 	d.touch()
 	d.stats.Updates++
 	d.stats.Deletes++
+	d.m.deletes.Inc()
 	return nil
 }
 
@@ -893,6 +1009,15 @@ func (d *Graph) ensureMembers() {
 	}
 }
 
+// rotScanK bounds the degree-indexed rotation search: per (receiver,donor)
+// pair, at most this many valid intermediates are gain-evaluated (and at most
+// 8× as many index slots scanned past skipped pmax/pmin residents). The
+// candidates nearest deg(a) carry almost all the gain — anything further
+// disturbs the intermediate partition more — so a short window finds the
+// same rotations the exhaustive pmin×P sweep does in practice, and the
+// sweep remains as a fallback when the window finds none.
+const rotScanK = 12
+
 // swapRepair pulls Δ(n) back under the effective threshold without moving
 // the partition segment boundaries: each step exchanges a vertex v of the
 // most-loaded partition with a lower-degree vertex u of the least-loaded
@@ -904,10 +1029,15 @@ func (d *Graph) ensureMembers() {
 // layer can patch engines across (ViewDelta.Moved). The shared cached
 // permutation is never mutated: a repair pass that swaps clones it once
 // (copy-on-write) so views pinned to earlier epochs keep their numbering.
-func (d *Graph) swapRepair() {
+//
+// The return reports the pass outcome: the exchange counts, and stalled —
+// the pass ended with the gap still over threshold and neither an improving
+// pair swap nor a positive-gain rotation left, the state that forces the
+// caller's full-rebuild fallback.
+func (d *Graph) swapRepair() (swaps, rots int64, stalled bool) {
 	th := d.effEdgeThreshold()
 	if core.Spread(d.partEdges) <= th {
-		return
+		return 0, 0, false
 	}
 	d.ensureOrdering()
 	d.ensureMembers()
@@ -949,7 +1079,6 @@ func (d *Graph) swapRepair() {
 	var perm []graph.VertexID
 	var partOf []uint32
 	var moved []graph.VertexID
-	var swaps, rots int64
 	// cow clones the shared cached permutation once per pass, so views
 	// pinned to earlier epochs keep their numbering.
 	cow := func() {
@@ -957,6 +1086,28 @@ func (d *Graph) swapRepair() {
 			perm = append([]graph.VertexID(nil), d.ordPerm...)
 			partOf = append([]uint32(nil), d.ordPartOf...)
 		}
+	}
+	// rotIdx is the degree-indexed rotation candidate index: every vertex,
+	// sorted by (live in-degree, ID). Degrees are fixed within a pass, so it
+	// is built lazily on the first rotation attempt and shared by the rest of
+	// the pass. It lets the search find intermediate vertices b with degree
+	// near deg(a) — the choice that least disturbs b's partition — by binary
+	// search plus a short two-sided scan, instead of probing every partition.
+	var rotIdx []graph.VertexID
+	ensureRotIdx := func() {
+		if rotIdx != nil {
+			return
+		}
+		rotIdx = make([]graph.VertexID, d.n)
+		for v := range rotIdx {
+			rotIdx[v] = graph.VertexID(v)
+		}
+		sort.Slice(rotIdx, func(i, j int) bool {
+			if d.degIn[rotIdx[i]] != d.degIn[rotIdx[j]] {
+				return d.degIn[rotIdx[i]] < d.degIn[rotIdx[j]]
+			}
+			return rotIdx[i] < rotIdx[j]
+		})
 	}
 	// rotate attempts a three-way exchange when no improving pair swap
 	// exists: a ∈ pmax moves to an intermediate partition q, b ∈ q moves to
@@ -968,45 +1119,114 @@ func (d *Graph) swapRepair() {
 	// decreases the sum of squared loads of the three partitions, which
 	// bounds the repair loop the same way pair swaps do.
 	rotate := func(pmax, pmin int, gap int64) bool {
+		d.stats.RotationAttempts++
+		d.m.rotAttempts.Inc()
 		lmax, lmin := lists[pmax], lists[pmin]
 		bestQ, bestA, bestB, bestC := -1, -1, -1, -1
 		var bestGain int64
 		// Gain of moving loads x→x+t is −(2xt+t²) summed over the three
 		// partitions; positive gain = smaller Σ load².
 		gainOf := func(load, t int64) int64 { return -(2*load*t + t*t) }
-		for q := 0; q < p; q++ {
-			if q == pmax || q == pmin || len(lists[q]) == 0 {
-				continue
+		consider := func(q, aj, bj, ci int) {
+			a, b, c := lmax[aj], lists[q][bj], lmin[ci]
+			da, db, dc := d.degIn[a], d.degIn[b], d.degIn[c]
+			gain := gainOf(d.partEdges[pmax], dc-da) +
+				gainOf(d.partEdges[q], da-db) +
+				gainOf(d.partEdges[pmin], db-dc)
+			if gain > bestGain {
+				bestQ, bestA, bestB, bestC, bestGain = q, aj, bj, ci, gain
 			}
+		}
+		// Indexed search: for each receiver c, take the donors a bracketing
+		// the ideal transfer (as the pair search does) and probe the degree
+		// index around deg(a) for intermediates b, nearest degree first.
+		ensureRotIdx()
+		posInList := func(q int, b graph.VertexID) int {
 			sortList(q)
-			lq := lists[q]
-			for ci, c := range lmin {
-				target := d.degIn[c] + (gap+1)/2
-				ai := sort.Search(len(lmax), func(i int) bool { return d.degIn[lmax[i]] >= target })
-				for _, aj := range [2]int{ai - 1, ai} {
-					if aj < 0 || aj >= len(lmax) {
-						continue
-					}
-					a := lmax[aj]
-					// b ideally matches deg(a) so q's load barely moves.
-					bi := sort.Search(len(lq), func(i int) bool { return d.degIn[lq[i]] >= d.degIn[a] })
-					for _, bj := range [2]int{bi - 1, bi} {
-						if bj < 0 || bj >= len(lq) {
+			l := lists[q]
+			return sort.Search(len(l), func(i int) bool {
+				if d.degIn[l[i]] != d.degIn[b] {
+					return d.degIn[l[i]] > d.degIn[b]
+				}
+				return l[i] >= b
+			})
+		}
+		probe := func(aj, ci int) {
+			da := d.degIn[lmax[aj]]
+			i0 := sort.Search(len(rotIdx), func(i int) bool { return d.degIn[rotIdx[i]] >= da })
+			taken, scanned := 0, 0
+			for lo, hi := i0-1, i0; taken < rotScanK && scanned < 8*rotScanK && (lo >= 0 || hi < len(rotIdx)); {
+				var b graph.VertexID
+				// Expand toward whichever side's next candidate is nearer
+				// in degree.
+				switch {
+				case lo < 0:
+					b = rotIdx[hi]
+					hi++
+				case hi >= len(rotIdx):
+					b = rotIdx[lo]
+					lo--
+				case da-d.degIn[rotIdx[lo]] <= d.degIn[rotIdx[hi]]-da:
+					b = rotIdx[lo]
+					lo--
+				default:
+					b = rotIdx[hi]
+					hi++
+				}
+				scanned++
+				q := int(d.assign[b])
+				if q == pmax || q == pmin {
+					continue
+				}
+				consider(q, aj, posInList(q, b), ci)
+				taken++
+			}
+		}
+		for ci, c := range lmin {
+			target := d.degIn[c] + (gap+1)/2
+			ai := sort.Search(len(lmax), func(i int) bool { return d.degIn[lmax[i]] >= target })
+			for _, aj := range [2]int{ai - 1, ai} {
+				if aj < 0 || aj >= len(lmax) {
+					continue
+				}
+				probe(aj, ci)
+			}
+		}
+		if bestQ < 0 {
+			// The indexed scan found no positive-gain rotation; fall back to
+			// the exhaustive pmin×P sweep so repair capability never
+			// regresses relative to the unindexed search.
+			d.stats.RotationFallbacks++
+			d.m.rotFallbacks.Inc()
+			for q := 0; q < p; q++ {
+				if q == pmax || q == pmin || len(lists[q]) == 0 {
+					continue
+				}
+				sortList(q)
+				lq := lists[q]
+				for ci, c := range lmin {
+					target := d.degIn[c] + (gap+1)/2
+					ai := sort.Search(len(lmax), func(i int) bool { return d.degIn[lmax[i]] >= target })
+					for _, aj := range [2]int{ai - 1, ai} {
+						if aj < 0 || aj >= len(lmax) {
 							continue
 						}
-						b := lq[bj]
-						da, db, dc := d.degIn[a], d.degIn[b], d.degIn[c]
-						gain := gainOf(d.partEdges[pmax], dc-da) +
-							gainOf(d.partEdges[q], da-db) +
-							gainOf(d.partEdges[pmin], db-dc)
-						if gain > bestGain {
-							bestQ, bestA, bestB, bestC, bestGain = q, aj, bj, ci, gain
+						a := lmax[aj]
+						// b ideally matches deg(a) so q's load barely moves.
+						bi := sort.Search(len(lq), func(i int) bool { return d.degIn[lq[i]] >= d.degIn[a] })
+						for _, bj := range [2]int{bi - 1, bi} {
+							if bj < 0 || bj >= len(lq) {
+								continue
+							}
+							consider(q, aj, bj, ci)
 						}
 					}
 				}
 			}
 		}
 		if bestQ < 0 {
+			d.stats.RotationStalls++
+			d.m.rotStalls.Inc()
 			return false
 		}
 		q := bestQ
@@ -1072,6 +1292,7 @@ func (d *Graph) swapRepair() {
 			// through an intermediate partition before giving up (the
 			// caller falls back to a full rebuild).
 			if !rotate(pmax, pmin, gap) {
+				stalled = true
 				break
 			}
 			continue
@@ -1102,8 +1323,11 @@ func (d *Graph) swapRepair() {
 		d.stats.Rotations += rots
 		d.stats.Placements += 2*swaps + 3*rots
 		d.stats.RepairedVertices += 2*swaps + 3*rots
+		d.m.swaps.Add(swaps)
+		d.m.rotations.Add(rots)
 	}
 	d.stats.Repairs++
+	return swaps, rots, stalled
 }
 
 // repair re-runs Algorithm 2's greedy placement over the dirty vertices
@@ -1263,7 +1487,15 @@ func (d *Graph) placementChanged() {
 }
 
 // Rebuild forces a full reorder regardless of the thresholds.
-func (d *Graph) Rebuild() { d.rebuild() }
+func (d *Graph) Rebuild() {
+	bstart := time.Now()
+	d.rebuild()
+	d.m.rebuildForced.Inc()
+	d.m.rebuildNS.ObserveSince(bstart)
+	d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "rebuild", Cause: "forced", Dur: time.Since(bstart),
+		N: map[string]int64{"placements": int64(d.n)}})
+	d.syncGauges()
+}
 
 // argMin2 returns the index minimizing primary, breaking ties by secondary.
 func argMin2(primary, secondary []int64) int {
@@ -1388,6 +1620,8 @@ func (d *Graph) Snapshot() *graph.Graph {
 // delta log. Engines holding older snapshots (and views holding older
 // freezes) are unaffected: the old base and log prefix stay immutable.
 func (d *Graph) Compact() {
+	cstart := time.Now()
+	pending := d.PendingOps()
 	d.base = d.Snapshot()
 	d.pendingAdd = nil
 	d.addAlive = make(map[edgeKey][]int32)
@@ -1395,6 +1629,10 @@ func (d *Graph) Compact() {
 	d.delPair = make(map[edgeKey]int64)
 	d.pendingDels = 0
 	d.stats.Compactions++
+	d.m.compactions.Inc()
+	d.m.compactNS.ObserveSince(cstart)
+	d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "compact", Cause: "log-bound", Dur: time.Since(cstart),
+		N: map[string]int64{"pending_ops": pending, "base_edges": d.liveEdges}})
 }
 
 // ensureOrdering makes the cached permutation current. The full
@@ -1601,6 +1839,74 @@ func (vd ViewDelta) Subtract(prefix ViewDelta) ViewDelta {
 		}
 	}
 	return out
+}
+
+// dynMetrics bundles the subsystem's metric handles. It is populated even
+// with a nil registry (every handle is then a nil no-op), so instrumented
+// paths never branch on whether metrics are enabled.
+type dynMetrics struct {
+	batches, inserts, deletes            *obs.Counter
+	repairs, swaps, rotations            *obs.Counter
+	rotAttempts, rotFallbacks, rotStalls *obs.Counter
+	rebuildRotStall, rebuildVertex       *obs.Counter
+	rebuildShortfall, rebuildForced      *obs.Counter
+	resorts, compactions                 *obs.Counter
+	admitted, growthSpills               *obs.Counter
+
+	batchNS, repairNS, rebuildNS *obs.Histogram
+	growNS, compactNS            *obs.Histogram
+
+	epoch, vertices, liveEdges  *obs.Gauge
+	edgeImb, vertImb, effThresh *obs.Gauge
+	pendingOps                  *obs.Gauge
+}
+
+func newDynMetrics(r *obs.Registry) dynMetrics {
+	return dynMetrics{
+		batches:          r.Counter("vebo_batches_total"),
+		inserts:          r.Counter("vebo_updates_total", "op", "insert"),
+		deletes:          r.Counter("vebo_updates_total", "op", "delete"),
+		repairs:          r.Counter("vebo_repairs_total"),
+		swaps:            r.Counter("vebo_swaps_total"),
+		rotations:        r.Counter("vebo_rotations_total"),
+		rotAttempts:      r.Counter("vebo_rotation_search_total", "result", "attempt"),
+		rotFallbacks:     r.Counter("vebo_rotation_search_total", "result", "fallback"),
+		rotStalls:        r.Counter("vebo_rotation_search_total", "result", "stall"),
+		rebuildRotStall:  r.Counter("vebo_rebuilds_total", "cause", "rotation-stall"),
+		rebuildVertex:    r.Counter("vebo_rebuilds_total", "cause", "vertex-threshold"),
+		rebuildShortfall: r.Counter("vebo_rebuilds_total", "cause", "repair-shortfall"),
+		rebuildForced:    r.Counter("vebo_rebuilds_total", "cause", "forced"),
+		resorts:          r.Counter("vebo_resorts_total"),
+		compactions:      r.Counter("vebo_compactions_total"),
+		admitted:         r.Counter("vebo_admitted_total"),
+		growthSpills:     r.Counter("vebo_growth_spills_total"),
+		batchNS:          r.Histogram("vebo_batch_ns"),
+		repairNS:         r.Histogram("vebo_repair_ns"),
+		rebuildNS:        r.Histogram("vebo_rebuild_ns"),
+		growNS:           r.Histogram("vebo_grow_ns"),
+		compactNS:        r.Histogram("vebo_compact_ns"),
+		epoch:            r.Gauge("vebo_epoch"),
+		vertices:         r.Gauge("vebo_vertices"),
+		liveEdges:        r.Gauge("vebo_live_edges"),
+		edgeImb:          r.Gauge("vebo_edge_imbalance"),
+		vertImb:          r.Gauge("vebo_vertex_imbalance"),
+		effThresh:        r.Gauge("vebo_effective_threshold"),
+		pendingOps:       r.Gauge("vebo_pending_ops"),
+	}
+}
+
+// syncGauges refreshes the instantaneous-state gauges after a lifecycle step.
+func (d *Graph) syncGauges() {
+	if d.m.epoch == nil {
+		return
+	}
+	d.m.epoch.Set(d.epoch)
+	d.m.vertices.Set(int64(d.n))
+	d.m.liveEdges.Set(d.liveEdges)
+	d.m.edgeImb.Set(d.EdgeImbalance())
+	d.m.vertImb.Set(d.VertexImbalance())
+	d.m.effThresh.Set(d.effEdgeThreshold())
+	d.m.pendingOps.Set(d.PendingOps())
 }
 
 // AddsDels expands the net delta into explicit insertion and deletion lists

@@ -1,0 +1,242 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// instrumented builds a dynamic graph with a live registry and tracer, the
+// configuration every trace regression below scrapes.
+func instrumented(t *testing.T, g *graph.Graph, cfg Config) (*Graph, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(256)
+	cfg.Metrics = reg
+	cfg.Tracer = tr
+	d, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, reg, tr
+}
+
+// findEvent returns the last trace event matching kind (and cause, when
+// non-empty).
+func findEvent(evs []obs.Event, kind, cause string) *obs.Event {
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Kind == kind && (cause == "" || evs[i].Cause == cause) {
+			return &evs[i]
+		}
+	}
+	return nil
+}
+
+// TestTraceThresholdTrip pins the first required cause annotation: a
+// Δ(n)-gated repair must leave a "repair" event with cause "threshold-trip"
+// carrying the before/after imbalances, so the epoch's story is readable
+// from the trace alone.
+func TestTraceThresholdTrip(t *testing.T) {
+	const D = 10
+	g := hostileDegreeGraph(t)
+	d, reg, tr := instrumented(t, g, Config{
+		Partitions:               3,
+		RebuildThreshold:         D/2 + 1,
+		VertexRebuildThreshold:   1 << 40,
+		DisableAdaptiveThreshold: true,
+		DisableSegmentResort:     true,
+	})
+	// Same overload as TestSwapRepairRotationFallback: one coarse-class
+	// vertex gains exactly D in-edges, which the pair search cannot fix but
+	// a three-way rotation can.
+	qmid := int(d.PartitionOf(8))
+	X := -1
+	var target, qv graph.VertexID
+	for v := graph.VertexID(0); v < 8; v++ {
+		switch int(d.PartitionOf(v)) {
+		case qmid:
+			qv = v
+		default:
+			if X < 0 {
+				X = int(d.PartitionOf(v))
+			}
+			if int(d.PartitionOf(v)) == X {
+				target = v
+			}
+		}
+	}
+	var batch []graph.EdgeUpdate
+	for i := 0; i < D; i++ {
+		batch = append(batch, graph.EdgeUpdate{Src: graph.VertexID(10 + i), Dst: target})
+	}
+	batch = append(batch, graph.EdgeUpdate{Src: 20, Dst: qv})
+	res, err := d.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Repaired || res.Rebuilt {
+		t.Fatalf("expected a pure repair batch, got %+v", res)
+	}
+
+	ev := findEvent(tr.Events(), "repair", "threshold-trip")
+	if ev == nil {
+		t.Fatalf("no repair/threshold-trip event in trace: %+v", tr.Events())
+	}
+	if ev.Epoch != d.Epoch() {
+		t.Fatalf("repair event epoch %d, graph epoch %d", ev.Epoch, d.Epoch())
+	}
+	if ev.N["delta_before"] <= ev.N["threshold"] {
+		t.Fatalf("repair event claims gate did not trip: %+v", ev.N)
+	}
+	if ev.N["delta_after"] >= ev.N["delta_before"] {
+		t.Fatalf("repair event shows no improvement: %+v", ev.N)
+	}
+	if ev.N["rotations"] == 0 || ev.N["stalled"] != 0 {
+		t.Fatalf("hostile-degree repair should rotate without stalling: %+v", ev.N)
+	}
+	if ev.Dur <= 0 {
+		t.Fatalf("repair event missing wall-clock duration")
+	}
+	// The batch summary event closes the epoch.
+	if be := findEvent(tr.Events(), "batch", ""); be == nil || be.N["repaired"] != 1 {
+		t.Fatalf("batch event missing or not marked repaired: %+v", be)
+	}
+
+	// Registry counters mirror the trace.
+	if got := reg.Counter("vebo_repairs_total").Value(); got != 1 {
+		t.Fatalf("vebo_repairs_total = %d", got)
+	}
+	if got := reg.Counter("vebo_rotation_search_total", "result", "attempt").Value(); got == 0 {
+		t.Fatalf("rotation attempts not counted")
+	}
+	st := d.Stats()
+	if st.RotationAttempts == 0 || st.RotationStalls != 0 {
+		t.Fatalf("rotation stats = %+v", st)
+	}
+}
+
+// TestTraceRotationStall pins the second required cause annotation: when the
+// pair search finds nothing and no intermediate partition exists (P=2), the
+// repair stalls and the forced full rebuild must be annotated
+// "rotation-stall" — the trace alone answers "why did epoch E rebuild
+// instead of patch".
+func TestTraceRotationStall(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 1, Dst: 0, Weight: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, reg, tr := instrumented(t, g, Config{
+		Partitions:               2,
+		RebuildThreshold:         1,
+		VertexRebuildThreshold:   1 << 40,
+		DisableAdaptiveThreshold: true,
+		DisableSegmentResort:     true,
+	})
+	// Pile all new mass on vertex 0: every candidate transfer is 0 or the
+	// whole gap, so no swap strictly improves, and with P=2 there is no
+	// intermediate partition to rotate through.
+	var batch []graph.EdgeUpdate
+	for i := 0; i < 10; i++ {
+		batch = append(batch, graph.EdgeUpdate{Src: graph.VertexID(1 + i%3), Dst: 0})
+	}
+	res, err := d.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rebuilt {
+		t.Fatalf("scenario no longer forces a rebuild: %+v", res)
+	}
+
+	evs := tr.Events()
+	reb := findEvent(evs, "rebuild", "")
+	if reb == nil {
+		t.Fatalf("no rebuild event in trace: %+v", evs)
+	}
+	if reb.Cause != "rotation-stall" {
+		t.Fatalf("rebuild cause = %q, want rotation-stall", reb.Cause)
+	}
+	// The full epoch story: EventsForEpoch(E) alone explains the rebuild —
+	// a gated repair that stalled, then the rebuild naming the stall.
+	story := tr.EventsForEpoch(reb.Epoch)
+	rep := findEvent(story, "repair", "threshold-trip")
+	if rep == nil || rep.N["stalled"] != 1 {
+		t.Fatalf("epoch %d story lacks a stalled repair: %+v", reb.Epoch, story)
+	}
+	if rep.Seq >= reb.Seq {
+		t.Fatalf("repair (seq %d) not ordered before rebuild (seq %d)", rep.Seq, reb.Seq)
+	}
+
+	if got := reg.Counter("vebo_rebuilds_total", "cause", "rotation-stall").Value(); got != 1 {
+		t.Fatalf("vebo_rebuilds_total{cause=rotation-stall} = %d", got)
+	}
+	if st := d.Stats(); st.RotationStalls == 0 {
+		t.Fatalf("RotationStalls = 0, want > 0 (stats: %+v)", st)
+	}
+}
+
+// TestTraceGrowthSpill pins the third required cause annotation: admissions
+// that shift later segments up (residents exist after a grown partition) are
+// annotated "growth-spill"; pure tail growth is "tail-append".
+func TestTraceGrowthSpill(t *testing.T) {
+	g, err := graph.FromEdges(12, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 2, Dst: 3, Weight: 1},
+		{Src: 4, Dst: 5, Weight: 1}, {Src: 6, Dst: 7, Weight: 1},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, reg, tr := instrumented(t, g, Config{Partitions: 4})
+	if first := d.Grow(3); first != 12 {
+		t.Fatalf("first admitted ID %d, want 12", first)
+	}
+	ev := findEvent(tr.Events(), "grow", "")
+	if ev == nil {
+		t.Fatalf("no grow event in trace: %+v", tr.Events())
+	}
+	if ev.Cause != "growth-spill" {
+		t.Fatalf("grow cause = %q, want growth-spill (N=%+v)", ev.Cause, ev.N)
+	}
+	if ev.N["admitted"] != 3 || ev.N["vertices"] != 15 {
+		t.Fatalf("grow event N = %+v", ev.N)
+	}
+	if got := reg.Counter("vebo_growth_spills_total").Value(); got != 1 {
+		t.Fatalf("vebo_growth_spills_total = %d", got)
+	}
+
+	// P=1 growth extends the single tail segment and shifts nothing.
+	g2, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, tr2 := instrumented(t, g2, Config{Partitions: 1})
+	d2.Grow(2)
+	ev2 := findEvent(tr2.Events(), "grow", "")
+	if ev2 == nil || ev2.Cause != "tail-append" {
+		t.Fatalf("P=1 grow cause = %+v, want tail-append", ev2)
+	}
+}
+
+// TestTraceGaugesTrackState checks that the registry gauges published after
+// every batch agree with the structure's own accessors.
+func TestTraceGaugesTrackState(t *testing.T) {
+	g := hostileDegreeGraph(t)
+	d, reg, _ := instrumented(t, g, Config{Partitions: 3})
+	if _, err := d.ApplyBatch([]graph.EdgeUpdate{
+		{Src: 11, Dst: 0}, {Src: 12, Dst: 1}, {Src: 13, Dst: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reg.Gauge("vebo_epoch").Value(), d.Epoch(); got != want {
+		t.Fatalf("vebo_epoch = %d, want %d", got, want)
+	}
+	if got, want := reg.Gauge("vebo_vertices").Value(), int64(d.NumVertices()); got != want {
+		t.Fatalf("vebo_vertices = %d, want %d", got, want)
+	}
+	if got, want := reg.Gauge("vebo_live_edges").Value(), d.NumEdges(); got != want {
+		t.Fatalf("vebo_live_edges = %d, want %d", got, want)
+	}
+	if got, want := reg.Gauge("vebo_edge_imbalance").Value(), d.EdgeImbalance(); got != want {
+		t.Fatalf("vebo_edge_imbalance = %d, want %d", got, want)
+	}
+}

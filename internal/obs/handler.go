@@ -1,0 +1,32 @@
+package obs
+
+import "net/http"
+
+// Register mounts the observability endpoints on mux:
+//
+//	/metrics      — Prometheus text exposition of the registry
+//	/metrics.json — the same registry as a JSON array
+//	/trace        — the tracer's retained events as JSON
+//
+// Either argument may be nil (the endpoint then renders empty).
+func Register(mux *http.ServeMux, r *Registry, t *Tracer) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	})
+}
+
+// Handler returns an http.Handler serving the Register endpoints.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, r, t)
+	return mux
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of the log-bucketed histogram: bucket 0
+// holds non-positive observations, bucket i (1 ≤ i ≤ 63) the range
+// [2^(i-1), 2^i − 1]. Power-of-two bucketing bounds the quantile error at
+// 2× while keeping Observe a single atomic add — the fidelity/throughput
+// trade a hot serving path wants.
+const histBuckets = 64
+
+// Histogram is a race-safe log-bucketed histogram, typically holding
+// latencies in nanoseconds. The zero value is ready to use; all methods are
+// no-ops on a nil receiver. Quantiles are computed on demand from the live
+// buckets with linear interpolation inside the winning bucket.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observations recorded
+// so far, 0 when empty. Concurrent Observe calls may skew an in-flight
+// Quantile by the racing observations — acceptable for monitoring reads.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if target < cum+c {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << uint(i-1)
+			hi := int64((uint64(1) << uint(i)) - 1)
+			// Interpolate by rank position inside the bucket.
+			pos := target - cum // 0-based within bucket
+			if c > 1 {
+				return lo + (hi-lo)*pos/(c-1)
+			}
+			return lo + (hi-lo)/2
+		}
+		cum += c
+	}
+	return 0 // unreachable
+}

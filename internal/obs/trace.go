@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured epoch-lifecycle record. Kind names what happened
+// ("batch", "repair", "rebuild", "grow", "resort", "compact", "publish",
+// "graph", "engine"), Cause why ("threshold-trip", "rotation-stall",
+// "growth-spill", …); see DESIGN.md §6 for the full vocabulary. Dur carries
+// the wall-clock duration of the step, N any modeled work counts alongside
+// it.
+type Event struct {
+	Seq   uint64    `json:"seq"`
+	Time  time.Time `json:"time"`
+	Epoch int64     `json:"epoch"`
+	Kind  string    `json:"kind"`
+	Cause string    `json:"cause,omitempty"`
+	// Sys names the framework model for engine-layer events.
+	Sys string           `json:"sys,omitempty"`
+	Dur time.Duration    `json:"dur_ns,omitempty"`
+	N   map[string]int64 `json:"n,omitempty"`
+}
+
+// DefaultTraceCapacity is the ring size NewTracer(0) selects.
+const DefaultTraceCapacity = 1024
+
+// Tracer is a bounded ring buffer of Events. Emit may be called from any
+// goroutine (the ingest side and lazy engine builds on reader goroutines
+// both emit); when the ring is full the oldest events are overwritten —
+// Dropped counts them. All methods are no-ops on a nil receiver.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	emitted uint64 // total events ever emitted; buf holds the newest len(buf)
+}
+
+// NewTracer returns a tracer retaining the newest capacity events
+// (DefaultTraceCapacity when capacity ≤ 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends an event, stamping Seq (monotonic from 1) and, when unset,
+// Time.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitted++
+	e.Seq = t.emitted
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	// Overwrite the oldest slot: the ring index is Seq modulo capacity.
+	t.buf[int((e.Seq-1)%uint64(cap(t.buf)))] = e
+}
+
+// Emitted returns the total number of events ever emitted.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted - uint64(len(t.buf))
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	// Full ring: the oldest retained event follows the newest slot.
+	head := int(t.emitted % uint64(cap(t.buf)))
+	out = append(out, t.buf[head:]...)
+	return append(out, t.buf[:head]...)
+}
+
+// EventsForEpoch returns the retained events pinned to one epoch, oldest
+// first — the "why did epoch E do that?" query.
+func (t *Tracer) EventsForEpoch(epoch int64) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Epoch == epoch {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// traceSnapshot is the JSON rendering of a tracer.
+type traceSnapshot struct {
+	Emitted uint64  `json:"emitted"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// WriteJSON renders the retained events (with emission/drop totals) as JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	snap := traceSnapshot{Emitted: t.Emitted(), Dropped: t.Dropped(), Events: t.Events()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}

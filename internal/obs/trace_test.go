@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Emit(Event{Epoch: int64(i), Kind: "batch"})
+	}
+	if got := tr.Emitted(); got != 10 {
+		t.Fatalf("emitted = %d", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	// The newest capacity events survive, oldest first, with contiguous
+	// monotonic sequence numbers.
+	for i, e := range evs {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq || e.Epoch != int64(wantSeq) {
+			t.Fatalf("event %d = seq %d epoch %d, want seq %d", i, e.Seq, e.Epoch, wantSeq)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has zero time", i)
+		}
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: "repair", Cause: "threshold-trip"})
+	tr.Emit(Event{Kind: "rebuild", Cause: "rotation-stall"})
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Kind != "repair" || evs[1].Cause != "rotation-stall" {
+		t.Fatalf("events out of order: %+v", evs)
+	}
+}
+
+func TestEventsForEpoch(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(Event{Epoch: 5, Kind: "repair", Cause: "threshold-trip"})
+	tr.Emit(Event{Epoch: 5, Kind: "rebuild", Cause: "repair-shortfall"})
+	tr.Emit(Event{Epoch: 6, Kind: "batch"})
+	evs := tr.EventsForEpoch(5)
+	if len(evs) != 2 || evs[0].Kind != "repair" || evs[1].Kind != "rebuild" {
+		t.Fatalf("epoch 5 events = %+v", evs)
+	}
+	if got := tr.EventsForEpoch(99); got != nil {
+		t.Fatalf("epoch 99 events = %+v", got)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: "batch"}) // must not panic
+	if tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer retained state")
+	}
+	if err := tr.WriteJSON(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Emit(Event{Epoch: 3, Kind: "grow", Cause: "growth-spill", N: map[string]int64{"admitted": 7}})
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Emitted uint64  `json:"emitted"`
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if snap.Emitted != 1 || len(snap.Events) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	e := snap.Events[0]
+	if e.Kind != "grow" || e.Cause != "growth-spill" || e.N["admitted"] != 7 {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+// TestConcurrentEmit exercises the tracer from many goroutines; under -race
+// this is the ring's safety proof.
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(Event{Kind: "batch"})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = tr.Events()
+			_ = tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	if got := tr.Emitted(); got != 8*500 {
+		t.Fatalf("emitted = %d", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -22,6 +22,7 @@ package vebo
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sync/atomic"
 
 	"repro/internal/algorithms"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/ligra"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/polymer"
 )
@@ -280,6 +282,11 @@ type DynamicOptions struct {
 	// epoch's. Exists for the engine-build amortization experiment
 	// (bench -exp view).
 	DisableViewReuse bool
+	// TraceCapacity sizes the epoch-lifecycle trace ring (number of retained
+	// events; default obs.DefaultTraceCapacity). The tracer and the metrics
+	// registry are always on — both are lock-free atomics on the hot paths —
+	// and reachable via Metrics, Trace and ObsHandler.
+	TraceCapacity int
 }
 
 // Dynamic is a mutable graph whose VEBO ordering is maintained incrementally
@@ -294,6 +301,8 @@ type Dynamic struct {
 	engOpts EngineOptions
 	reuse   bool
 	work    *viewWork
+	reg     *obs.Registry
+	tracer  *obs.Tracer
 	cur     atomic.Pointer[View]
 
 	// Writer-side basis tracking (see publish in view.go): the delta
@@ -316,6 +325,8 @@ type Dynamic struct {
 // NewDynamic wraps g for streaming updates, computing the initial ordering
 // and publishing the epoch-0 view.
 func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(opts.TraceCapacity)
 	inner, err := dynamic.New(g, dynamic.Config{
 		Partitions:               opts.Partitions,
 		RebuildThreshold:         opts.RebuildThreshold,
@@ -325,6 +336,8 @@ func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 		DisableAdaptiveThreshold: opts.DisableAdaptiveThreshold,
 		AutoGrow:                 opts.AutoGrow,
 		DisableSegmentResort:     opts.DisableSegmentResort,
+		Metrics:                  reg,
+		Tracer:                   tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -333,11 +346,38 @@ func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 		inner:   inner,
 		engOpts: opts.Engine,
 		reuse:   !opts.DisableViewReuse,
-		work:    &viewWork{},
+		work:    newViewWork(reg, tracer),
+		reg:     reg,
+		tracer:  tracer,
 	}
 	d.publish()
 	return d, nil
 }
+
+// MetricsRegistry re-exports the observability registry type; see
+// internal/obs and DESIGN.md §6 for the metric vocabulary.
+type MetricsRegistry = obs.Registry
+
+// Tracer re-exports the epoch-lifecycle tracer type.
+type Tracer = obs.Tracer
+
+// TraceEvent re-exports one structured epoch-lifecycle trace event.
+type TraceEvent = obs.Event
+
+// Metrics returns the graph's metrics registry: every vebo_* counter, gauge
+// and latency histogram the ingest, maintenance, view and query layers emit.
+// Safe from any goroutine.
+func (d *Dynamic) Metrics() *MetricsRegistry { return d.reg }
+
+// Trace returns the epoch-lifecycle tracer: a bounded ring of structured
+// events recording, per epoch, what the pipeline did and why (batch applied,
+// threshold tripped, repair vs rotation vs rebuild, growth admission, engine
+// patched vs rebuilt). Safe from any goroutine.
+func (d *Dynamic) Trace() *Tracer { return d.tracer }
+
+// ObsHandler returns an http.Handler serving /metrics (Prometheus text),
+// /metrics.json and /trace for this graph.
+func (d *Dynamic) ObsHandler() http.Handler { return obs.Handler(d.reg, d.tracer) }
 
 // ApplyBatch applies the updates in order, runs the threshold-gated
 // incremental ordering maintenance at the end of the batch, and publishes a

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/graphgrind"
 	"repro/internal/layout"
 	"repro/internal/ligra"
+	"repro/internal/obs"
 	"repro/internal/polymer"
 )
 
@@ -97,19 +99,72 @@ func (s *engineSlot) peek() Engine {
 
 // viewWork accumulates engine-construction work counters across a Dynamic's
 // lifetime; readers add to it from whichever goroutine triggers a lazy build.
+// The counters live in the Dynamic's metrics registry (the vebo_view_* and
+// vebo_query_* series), so the modeled work units and the wall-clock
+// latencies land side by side in one scrape; the tracer receives one event
+// per graph/engine build or patch with the decision's cause.
 type viewWork struct {
-	epochs        atomic.Int64
-	graphBuilds   atomic.Int64
-	graphPatches  atomic.Int64
-	engineBuilds  atomic.Int64
-	enginePatches atomic.Int64
-	rebuildEdges  atomic.Int64
-	patchedEdges  atomic.Int64
-	reusedEdges   atomic.Int64
-	relabelEdges  atomic.Int64
-	partsRebuilt  atomic.Int64
-	partsReused   atomic.Int64
-	partsRelabel  atomic.Int64
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	epochs        *obs.Counter
+	graphBuilds   *obs.Counter
+	graphPatches  *obs.Counter
+	engineBuilds  *obs.Counter
+	enginePatches *obs.Counter
+	rebuildEdges  *obs.Counter
+	patchedEdges  *obs.Counter
+	reusedEdges   *obs.Counter
+	relabelEdges  *obs.Counter
+	partsRebuilt  *obs.Counter
+	partsReused   *obs.Counter
+	partsRelabel  *obs.Counter
+}
+
+// newViewWork wires the work counters into reg (nil-tolerant: a nil registry
+// yields no-op handles, a nil tracer drops events).
+func newViewWork(reg *obs.Registry, tr *obs.Tracer) *viewWork {
+	return &viewWork{
+		reg:           reg,
+		tr:            tr,
+		epochs:        reg.Counter("vebo_view_epochs_total"),
+		graphBuilds:   reg.Counter("vebo_view_graph_total", "path", "build"),
+		graphPatches:  reg.Counter("vebo_view_graph_total", "path", "patch"),
+		engineBuilds:  reg.Counter("vebo_view_engine_total", "path", "build"),
+		enginePatches: reg.Counter("vebo_view_engine_total", "path", "patch"),
+		rebuildEdges:  reg.Counter("vebo_view_edges_total", "path", "rebuild"),
+		patchedEdges:  reg.Counter("vebo_view_edges_total", "path", "patched"),
+		reusedEdges:   reg.Counter("vebo_view_edges_total", "path", "reused"),
+		relabelEdges:  reg.Counter("vebo_view_edges_total", "path", "relabeled"),
+		partsRebuilt:  reg.Counter("vebo_view_partitions_total", "path", "rebuilt"),
+		partsReused:   reg.Counter("vebo_view_partitions_total", "path", "reused"),
+		partsRelabel:  reg.Counter("vebo_view_partitions_total", "path", "relabeled"),
+	}
+}
+
+// observeQuery records one algorithm run: a per-(alg, sys) latency histogram
+// sample (vebo_query_ns) and count (vebo_queries_total). The measured span is
+// the whole user-visible call, including any lazy engine build it triggered.
+func (w *viewWork) observeQuery(alg string, sys System, start time.Time) {
+	w.reg.Histogram("vebo_query_ns", "alg", alg, "sys", sys.String()).ObserveSince(start)
+	w.reg.Counter("vebo_queries_total", "alg", alg, "sys", sys.String()).Inc()
+}
+
+// emitGraph records one snapshot/relabeled-graph materialization decision:
+// the per-cause latency histogram sample and a "graph" trace event.
+func (w *viewWork) emitGraph(epoch int64, cause string, start time.Time, touched, reused int64) {
+	w.reg.Histogram("vebo_graph_build_ns", "cause", cause).ObserveSince(start)
+	w.tr.Emit(obs.Event{Epoch: epoch, Kind: "graph", Cause: cause, Dur: time.Since(start),
+		N: map[string]int64{"edges_touched": touched, "edges_reused": reused}})
+}
+
+// emitEngine records one engine construction decision ("patch"/"rebind"
+// versus "build"): the per-(mode, sys) latency histogram sample and an
+// "engine" trace event.
+func (w *viewWork) emitEngine(epoch int64, cause string, sys System, start time.Time) {
+	w.reg.Histogram("vebo_engine_build_ns", "mode", cause, "sys", sys.String()).ObserveSince(start)
+	w.tr.Emit(obs.Event{Epoch: epoch, Kind: "engine", Cause: cause, Sys: sys.String(),
+		Dur: time.Since(start)})
 }
 
 // ViewWork is a snapshot of the engine-construction work a Dynamic's views
@@ -136,18 +191,18 @@ type ViewWork struct {
 
 func (w *viewWork) snapshot() ViewWork {
 	return ViewWork{
-		Epochs:              w.epochs.Load(),
-		GraphBuilds:         w.graphBuilds.Load(),
-		GraphPatches:        w.graphPatches.Load(),
-		EngineBuilds:        w.engineBuilds.Load(),
-		EnginePatches:       w.enginePatches.Load(),
-		RebuildEdges:        w.rebuildEdges.Load(),
-		PatchedEdges:        w.patchedEdges.Load(),
-		RelabeledEdges:      w.relabelEdges.Load(),
-		ReusedEdges:         w.reusedEdges.Load(),
-		PartitionsRebuilt:   w.partsRebuilt.Load(),
-		PartitionsReused:    w.partsReused.Load(),
-		PartitionsRelabeled: w.partsRelabel.Load(),
+		Epochs:              w.epochs.Value(),
+		GraphBuilds:         w.graphBuilds.Value(),
+		GraphPatches:        w.graphPatches.Value(),
+		EngineBuilds:        w.engineBuilds.Value(),
+		EnginePatches:       w.enginePatches.Value(),
+		RebuildEdges:        w.rebuildEdges.Value(),
+		PatchedEdges:        w.patchedEdges.Value(),
+		RelabeledEdges:      w.relabelEdges.Value(),
+		ReusedEdges:         w.reusedEdges.Value(),
+		PartitionsRebuilt:   w.partsRebuilt.Value(),
+		PartitionsReused:    w.partsReused.Value(),
+		PartitionsRelabeled: w.partsRelabel.Value(),
 	}
 }
 
@@ -238,6 +293,16 @@ func (d *Dynamic) publish() {
 	v.basis.Store(basis)
 	d.work.epochs.Add(1)
 	d.cur.Store(v)
+	basisEpoch := int64(-1)
+	if basis != nil {
+		basisEpoch = basis.epoch
+	}
+	d.work.tr.Emit(obs.Event{Epoch: v.epoch, Kind: "publish",
+		N: map[string]int64{
+			"renum_epoch": v.renumEpoch, "basis_epoch": basisEpoch,
+			"delta_net": int64(len(v.delta.Net)), "delta_moved": int64(len(v.delta.Moved)),
+			"delta_grown": v.delta.GrownTotal(),
+		}})
 }
 
 // registerMaterialized below and the basis tracking in publish treat a view
@@ -329,6 +394,7 @@ func (v *View) Ordering() *Result { return &Result{inner: v.ord} }
 // and safe to share.
 func (v *View) Snapshot() *Graph {
 	v.snapOnce.Do(func() {
+		start := time.Now()
 		if b := v.basis.Load(); b != nil {
 			if bs := b.snapP.Load(); bs != nil {
 				adds, dels := v.delta.AddsDels()
@@ -338,6 +404,7 @@ func (v *View) Snapshot() *Graph {
 					v.work.relabelEdges.Add(st.EdgesRemapped)
 					v.work.reusedEdges.Add(st.EdgesCopied)
 					v.snapP.Store(s)
+					v.work.emitGraph(v.epoch, "snapshot-patch", start, st.EdgesMerged, st.EdgesCopied)
 					return
 				}
 				// Unreachable for deltas recorded by the dynamic subsystem;
@@ -347,6 +414,7 @@ func (v *View) Snapshot() *Graph {
 		v.snapP.Store(v.frozen.Materialize())
 		v.work.rebuildEdges.Add(v.frozen.NumEdges())
 		v.work.graphBuilds.Add(1)
+		v.work.emitGraph(v.epoch, "snapshot-build", start, v.frozen.NumEdges(), 0)
 	})
 	snap := v.snapP.Load()
 	v.d.registerMaterialized(v)
@@ -388,6 +456,7 @@ func (v *View) segPerm(b *View) []VertexID {
 // being rebuilt from a fresh snapshot.
 func (v *View) Reordered() (*Graph, error) {
 	v.rgOnce.Do(func() {
+		start := time.Now()
 		if b := v.basis.Load(); b != nil && !v.delta.PlacementChanged {
 			if brg := b.rgp.Load(); brg != nil {
 				adds, dels := v.delta.AddsDels()
@@ -401,6 +470,7 @@ func (v *View) Reordered() (*Graph, error) {
 					v.work.relabelEdges.Add(st.EdgesRemapped)
 					v.work.reusedEdges.Add(st.EdgesCopied)
 					v.rgp.Store(rg)
+					v.work.emitGraph(v.epoch, "reorder-patch", start, st.EdgesMerged, st.EdgesCopied)
 					return
 				}
 				// Unreachable for deltas recorded by the dynamic subsystem;
@@ -415,6 +485,7 @@ func (v *View) Reordered() (*Graph, error) {
 		v.work.graphBuilds.Add(1)
 		v.work.rebuildEdges.Add(rg.NumEdges())
 		v.rgp.Store(rg)
+		v.work.emitGraph(v.epoch, "reorder-build", start, rg.NumEdges(), 0)
 	})
 	if rg := v.rgp.Load(); rg != nil {
 		v.d.registerMaterialized(v)
@@ -572,17 +643,24 @@ func (v *View) buildEngine(sys System) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	// Ligra keeps no ID-bearing partitioned state, so its rebind survives
 	// even full renumberings; the partitioned engines patch only while the
 	// numbering lineage is intact (segment-local moves at most).
 	if b := v.basis.Load(); b != nil && (sys == Ligra || !v.delta.PlacementChanged) {
 		if be := b.eng[sys].peek(); be != nil {
 			if e, ok := v.patchEngine(sys, b, be, rg); ok {
+				cause := "patch"
+				if sys == Ligra {
+					cause = "rebind"
+				}
+				v.work.emitEngine(v.epoch, cause, sys, start)
 				return e, nil
 			}
 		}
 	}
 	ecfg := engine.Config{Topology: v.opts.topology()}
+	defer v.work.emitEngine(v.epoch, "build", sys, start)
 	switch sys {
 	case Ligra:
 		v.work.engineBuilds.Add(1)
@@ -736,21 +814,27 @@ func permuteIn[T any](perm []VertexID, xs []T) []T {
 // PageRank runs power-method PageRank for iters iterations on the selected
 // framework model; ranks are indexed by original vertex ID.
 func (v *View) PageRank(sys System, iters int) ([]float64, error) {
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
 	}
-	return unpermute(v.ord.Perm, algorithms.PageRank(e, iters)), nil
+	ranks := unpermute(v.ord.Perm, algorithms.PageRank(e, iters))
+	v.work.observeQuery("pagerank", sys, start)
+	return ranks, nil
 }
 
 // PageRankDelta runs delta-update PageRank; ranks are indexed by original
 // vertex ID.
 func (v *View) PageRankDelta(sys System, iters int, eps float64) ([]float64, error) {
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
 	}
-	return unpermute(v.ord.Perm, algorithms.PageRankDelta(e, iters, eps)), nil
+	ranks := unpermute(v.ord.Perm, algorithms.PageRankDelta(e, iters, eps))
+	v.work.observeQuery("pagerankdelta", sys, start)
+	return ranks, nil
 }
 
 // BFS returns the breadth-first parent array from root; both the indices and
@@ -759,6 +843,7 @@ func (v *View) BFS(sys System, root VertexID) ([]int32, error) {
 	if err := v.checkRoot(root); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
@@ -770,6 +855,7 @@ func (v *View) BFS(sys System, root VertexID) ([]int32, error) {
 			parents[i] = int32(inv[p])
 		}
 	}
+	v.work.observeQuery("bfs", sys, start)
 	return parents, nil
 }
 
@@ -777,6 +863,7 @@ func (v *View) BFS(sys System, root VertexID) ([]int32, error) {
 // vertices share a component iff their labels are equal; label values are
 // otherwise opaque.
 func (v *View) CC(sys System) ([]uint32, error) {
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
@@ -786,12 +873,14 @@ func (v *View) CC(sys System) ([]uint32, error) {
 	for i, l := range labels {
 		labels[i] = inv[l]
 	}
+	v.work.observeQuery("cc", sys, start)
 	return labels, nil
 }
 
 // SPMV multiplies the adjacency matrix with x; both x and the result are
 // indexed by original vertex ID.
 func (v *View) SPMV(sys System, x []float64) ([]float64, error) {
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
@@ -799,7 +888,9 @@ func (v *View) SPMV(sys System, x []float64) ([]float64, error) {
 	if len(x) != v.nverts {
 		return nil, fmt.Errorf("vebo: SPMV input length %d != n %d", len(x), v.nverts)
 	}
-	return unpermute(v.ord.Perm, algorithms.SPMV(e, permuteIn(v.ord.Perm, x))), nil
+	y := unpermute(v.ord.Perm, algorithms.SPMV(e, permuteIn(v.ord.Perm, x)))
+	v.work.observeQuery("spmv", sys, start)
+	return y, nil
 }
 
 // BellmanFord returns single-source shortest-path distances from root,
@@ -808,11 +899,14 @@ func (v *View) BellmanFord(sys System, root VertexID) ([]int64, error) {
 	if err := v.checkRoot(root); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
 	}
-	return unpermute(v.ord.Perm, algorithms.BellmanFord(e, v.ord.Perm[root])), nil
+	dists := unpermute(v.ord.Perm, algorithms.BellmanFord(e, v.ord.Perm[root]))
+	v.work.observeQuery("bellmanford", sys, start)
+	return dists, nil
 }
 
 // BC returns single-source betweenness-centrality scores from root, indexed
@@ -822,6 +916,7 @@ func (v *View) BC(sys System, root VertexID) ([]float64, error) {
 	if err := v.checkRoot(root); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
@@ -830,12 +925,15 @@ func (v *View) BC(sys System, root VertexID) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return unpermute(v.ord.Perm, algorithms.BC(e, eT, v.ord.Perm[root])), nil
+	scores := unpermute(v.ord.Perm, algorithms.BC(e, eT, v.ord.Perm[root]))
+	v.work.observeQuery("bc", sys, start)
+	return scores, nil
 }
 
 // BP runs the belief-propagation workload for iters iterations; prior and
 // the result are indexed by original vertex ID.
 func (v *View) BP(sys System, iters int, prior []float64) ([]float64, error) {
+	start := time.Now()
 	e, err := v.Engine(sys)
 	if err != nil {
 		return nil, err
@@ -843,5 +941,7 @@ func (v *View) BP(sys System, iters int, prior []float64) ([]float64, error) {
 	if len(prior) != v.nverts {
 		return nil, fmt.Errorf("vebo: BP prior length %d != n %d", len(prior), v.nverts)
 	}
-	return unpermute(v.ord.Perm, algorithms.BP(e, iters, permuteIn(v.ord.Perm, prior))), nil
+	beliefs := unpermute(v.ord.Perm, algorithms.BP(e, iters, permuteIn(v.ord.Perm, prior)))
+	v.work.observeQuery("bp", sys, start)
+	return beliefs, nil
 }
