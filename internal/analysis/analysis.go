@@ -1,0 +1,129 @@
+// Package analysis is the project's static-analysis suite: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// core (Analyzer, Pass, a module loader and an analysistest-style harness)
+// plus four project-specific analyzers that turn the prose concurrency
+// contracts of DESIGN.md §5–§7 into machine-checked rules:
+//
+//   - atomicfield: a struct field accessed once through sync/atomic must be
+//     accessed atomically everywhere; plain loads/stores race.
+//   - frozenwrite: types annotated //vebo:frozen are immutable outside
+//     their builder functions (epoch captures, published views, COW
+//     ordering results).
+//   - lockedfield: fields annotated //vebo:guardedby mu may only be touched
+//     while the named sibling mutex is held (allocator and registry maps).
+//   - obshandle: obs metric/trace handles come from the nil-safe
+//     constructors, and registered metric names follow the canonical
+//     vebo_* vocabulary.
+//
+// The suite runs via cmd/vebovet, either standalone (vebovet ./...) or as a
+// go vet tool (go vet -vettool=$(command -v vebovet) ./...). It is built on
+// the standard library only — go/ast, go/types and the gc export-data
+// importer — because this module deliberately has no third-party
+// dependencies; the x/tools analysis runtime is re-derived here at the
+// scale this suite needs, not vendored.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check. Run inspects a single package
+// (one Pass) and reports findings through the Pass; it returns an error
+// only for analyzer-internal failures, never for findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work: the package's syntax,
+// type information and the module-wide annotation index.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Ann      *Annotations
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full vebovet suite, the analyzers CI runs over every
+// package.
+func All() []*Analyzer {
+	return []*Analyzer{Atomicfield, Frozenwrite, Lockedfield, Obshandle}
+}
+
+// Run applies every analyzer to every package and returns the findings in
+// (file, line, column) order. All packages must share one token.FileSet.
+// Analyzer-internal errors abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer, ann *Annotations) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Ann:      ann,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		SortDiagnostics(pkgs[0].Fset, diags)
+	}
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by position then analyzer name.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// NewInfo returns a types.Info with every map the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

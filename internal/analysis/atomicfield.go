@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicfield enforces the all-or-nothing atomicity contract on struct
+// fields (DESIGN.md §5): once any code takes a field's address into a
+// sync/atomic call (or the module's atomicf CAS helpers), every other
+// access to that field must also be atomic — a plain load or store on
+// another goroutine is exactly the race -race only catches on a lucky
+// schedule. Fields of sync/atomic value types (atomic.Int64, atomic.Pointer
+// etc.) are likewise flagged when copied by value, which silently drops the
+// atomicity of subsequent operations.
+//
+// Functions returning the owning type are treated as builders: the value is
+// unpublished there, so plain initialization is allowed.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed through sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	type fieldKey struct {
+		pkg, typ, name string
+	}
+	key := func(fld *types.Var, owner *types.Named) (fieldKey, bool) {
+		pkg, typ, ok := namedKey(owner)
+		if !ok {
+			return fieldKey{}, false
+		}
+		return fieldKey{pkg, typ, fld.Name()}, true
+	}
+
+	// First pass: find every field whose address feeds a sync/atomic (or
+	// repro/internal/atomicf) call, remembering the selector nodes that
+	// are those atomic accesses.
+	firstAtomic := make(map[fieldKey]token.Pos)
+	atomicSite := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fld, owner := fieldOf(pass.Info, sel)
+				if fld == nil {
+					continue
+				}
+				if k, ok := key(fld, owner); ok {
+					if _, seen := firstAtomic[k]; !seen {
+						firstAtomic[k] = sel.Pos()
+					}
+					atomicSite[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Second pass: flag non-atomic accesses to those fields, and by-value
+	// copies of sync/atomic-typed fields.
+	for _, f := range pass.Files {
+		pm := parentsOf(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld, owner := fieldOf(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			k, ok := key(fld, owner)
+			if !ok {
+				return true
+			}
+			if first, mixed := firstAtomic[k]; mixed && !atomicSite[sel] {
+				if !inBuilderOf(pm, pass.Info, sel, k.pkg, k.typ) {
+					pass.Reportf(sel.Pos(),
+						"non-atomic access of %s.%s, which is accessed with sync/atomic at %s",
+						k.typ, k.name, pass.Fset.Position(first))
+				}
+			}
+			if atomicValueType(fld.Type()) != "" && copiesAtomicValue(pm, sel) {
+				pass.Reportf(sel.Pos(),
+					"%s.%s (%s) copied by value; atomic values must be used through methods on the original",
+					k.typ, k.name, atomicValueType(fld.Type()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall matches calls into sync/atomic and the module's atomicf
+// helper package (CAS-loop min helpers used by the kernels).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == "sync/atomic" || strings.HasSuffix(path, "internal/atomicf")
+}
+
+// atomicValueType returns "atomic.Int64"-style names for sync/atomic value
+// types, or "".
+func atomicValueType(t types.Type) string {
+	n := derefNamed(t)
+	pkg, name, ok := namedKey(n)
+	if !ok || pkg != "sync/atomic" {
+		return ""
+	}
+	switch name {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return "atomic." + name
+	}
+	return ""
+}
+
+// copiesAtomicValue reports whether sel reads the atomic-typed field as a
+// value rather than operating through it: method calls (v.cnt.Load()),
+// address-taking (&v.cnt) and further field selection keep the original;
+// anything else copies it.
+func copiesAtomicValue(pm parentMap, sel *ast.SelectorExpr) bool {
+	var node ast.Node = sel
+	for {
+		switch p := pm[node].(type) {
+		case *ast.SelectorExpr:
+			return false // v.cnt.Load, or deeper selection
+		case *ast.UnaryExpr:
+			return p.Op != token.AND
+		case *ast.StarExpr:
+			return false // deref of *atomic.T field keeps the original
+		case *ast.ParenExpr:
+			node = p
+		default:
+			return true
+		}
+	}
+}
+
+// inBuilderOf reports whether n is inside a function whose signature
+// returns (a pointer to) pkg.typ — construction before publication.
+func inBuilderOf(pm parentMap, info *types.Info, n ast.Node, pkg, typ string) bool {
+	for _, fn := range pm.enclosingFuncs(n) {
+		if returnsType(signatureOf(info, fn), pkg, typ) {
+			return true
+		}
+	}
+	return false
+}

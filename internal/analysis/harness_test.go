@@ -1,0 +1,112 @@
+package analysis
+
+// An analysistest-style harness: each testdata package seeds violations
+// annotated with `// want "regex"` trailing comments; the test fails on
+// any unmatched want or unexpected diagnostic. The fixed/ variants hold
+// the canonical fixes and must come back clean.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestAtomicfield(t *testing.T) { runWant(t, Atomicfield, "atomicfield") }
+func TestFrozenwrite(t *testing.T) { runWant(t, Frozenwrite, "frozenwrite") }
+func TestLockedfield(t *testing.T) { runWant(t, Lockedfield, "lockedfield") }
+func TestObshandle(t *testing.T)   { runWant(t, Obshandle, "obshandle") }
+
+func runWant(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	for _, variant := range []string{"a", "fixed"} {
+		t.Run(variant, func(t *testing.T) {
+			checkDir(t, a, filepath.Join(name, variant))
+		})
+	}
+}
+
+func checkDir(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", filepath.FromSlash(rel))
+	pkgs, err := l.LoadDir(dir, "test/"+strings.ReplaceAll(rel, string(filepath.Separator), "/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("type error in %s: %v", pkg.Path, terr)
+		}
+	}
+	diags, err := Run(pkgs, []*Analyzer{a}, l.Ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, re := range wants[key] {
+			if !matched && re.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, re)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("missing diagnostic at %s matching %q", key, re)
+		}
+	}
+}
+
+var wantTokenRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, pkgs []*Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantTokenRE.FindAllStringSubmatch(rest, -1) {
+						expr := m[1]
+						if expr == "" {
+							expr = m[2]
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, expr, err)
+						}
+						wants[key] = append(wants[key], re)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockedfield enforces //vebo:guardedby annotations (DESIGN.md §5c, §6):
+// a field annotated `//vebo:guardedby mu` may only be accessed while the
+// named sibling mutex of the same receiver is held on every path reaching
+// the access — reads require the mutex in read or write mode, writes
+// require write mode (a write under RLock is still a race). The walk is a
+// simple forward lockset pass: Lock/RLock on a statement adds the
+// receiver's mutex to the held set, Unlock/RUnlock removes it, branches
+// analyze with a copy of the set (acquisitions inside a branch do not leak
+// out), `defer mu.Unlock()` is neutral, and goroutine bodies start with an
+// empty set because they run on another schedule.
+//
+// Functions returning the owning type are builders (the value is
+// unpublished) and are exempt.
+var Lockedfield = &Analyzer{
+	Name: "lockedfield",
+	Doc:  "fields marked //vebo:guardedby must be accessed with the named mutex held",
+	Run:  runLockedfield,
+}
+
+func runLockedfield(pass *Pass) error {
+	for _, f := range pass.Files {
+		pm := parentsOf(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &lockChecker{pass: pass, pm: pm}
+			c.stmts(fd.Body.List, newLockSet())
+		}
+	}
+	return nil
+}
+
+type lockSet struct {
+	r, w map[string]int // "recv.mu" -> acquisition depth
+}
+
+func newLockSet() *lockSet {
+	return &lockSet{r: make(map[string]int), w: make(map[string]int)}
+}
+
+func (s *lockSet) clone() *lockSet {
+	c := newLockSet()
+	for k, v := range s.r {
+		c.r[k] = v
+	}
+	for k, v := range s.w {
+		c.w[k] = v
+	}
+	return c
+}
+
+type lockChecker struct {
+	pass *Pass
+	pm   parentMap
+}
+
+func (c *lockChecker) stmts(list []ast.Stmt, held *lockSet) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held *lockSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := c.lockEvent(s.X); ok {
+			applyLock(held, key, op)
+			return
+		}
+		c.scan(s.X, held)
+	case *ast.DeferStmt:
+		if _, _, ok := c.lockEvent(s.Call); ok {
+			return // deferred unlocks run at exit; neutral for the walk
+		}
+		// Argument expressions evaluate now; a deferred func literal runs
+		// at exit under an unknown lockset — treat as empty.
+		for _, arg := range s.Call.Args {
+			c.scan(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, newLockSet())
+		} else {
+			c.scan(s.Call.Fun, held)
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			c.scan(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, newLockSet())
+		} else {
+			c.scan(s.Call.Fun, held)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.scan(s.Cond, held)
+		c.stmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			c.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		body := held.clone()
+		if s.Cond != nil {
+			c.scan(s.Cond, body)
+		}
+		c.stmts(s.Body.List, body)
+		if s.Post != nil {
+			c.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.scan(s.X, held)
+		body := held.clone()
+		if s.Key != nil {
+			c.scanWrite(s.Key, body)
+		}
+		if s.Value != nil {
+			c.scanWrite(s.Value, body)
+		}
+		c.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scan(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				body := held.clone()
+				for _, e := range cc.List {
+					c.scan(e, body)
+				}
+				c.stmts(cc.Body, body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.stmt(s.Assign, held)
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				body := held.clone()
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, body)
+				}
+				c.stmts(cc.Body, body)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.scan(rhs, held)
+		}
+		for _, lhs := range s.Lhs {
+			c.scanWrite(lhs, held)
+		}
+	case *ast.IncDecStmt:
+		c.scanWrite(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scan(e, held)
+		}
+	case *ast.SendStmt:
+		c.scan(s.Chan, held)
+		c.scan(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scan(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func applyLock(held *lockSet, key string, op string) {
+	switch op {
+	case "Lock":
+		held.w[key]++
+	case "Unlock":
+		if held.w[key] > 0 {
+			held.w[key]--
+		}
+	case "RLock":
+		held.r[key]++
+	case "RUnlock":
+		if held.r[key] > 0 {
+			held.r[key]--
+		}
+	}
+}
+
+// lockEvent matches `recv.mu.Lock()`-shaped calls on sync.Mutex/RWMutex
+// fields and returns the held-set key ("recv.mu") and the method name.
+func (c *lockChecker) lockEvent(e ast.Expr) (key, op string, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, ok := c.pass.Info.Types[sel.X]
+	if !ok {
+		return "", "", false
+	}
+	n := derefNamed(tv.Type)
+	if !namedIs(n, "sync", "Mutex") && !namedIs(n, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return exprKey(sel.X), sel.Sel.Name, true
+}
+
+// scan inspects an expression for guarded-field reads; nested func
+// literals are walked with a copy of the current set (they are assumed to
+// run synchronously — go/defer literals are handled by stmt).
+func (c *lockChecker) scan(e ast.Expr, held *lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.stmts(n.Body.List, held.clone())
+			return false
+		case *ast.CallExpr:
+			// copy/delete/clear mutate their first argument.
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) > 0 {
+				if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "copy", "delete", "clear":
+						c.scanWrite(n.Args[0], held)
+						for _, a := range n.Args[1:] {
+							c.scan(a, held)
+						}
+						return false
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			c.checkAccess(n, held, false)
+		}
+		return true
+	})
+}
+
+// scanWrite checks a mutation target: the outermost guarded selector on
+// the path needs the mutex in write mode; everything beneath it is a read.
+func (c *lockChecker) scanWrite(e ast.Expr, held *lockSet) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			c.scan(x.Index, held)
+			e = x.X
+		case *ast.SliceExpr:
+			if x.Low != nil {
+				c.scan(x.Low, held)
+			}
+			if x.High != nil {
+				c.scan(x.High, held)
+			}
+			if x.Max != nil {
+				c.scan(x.Max, held)
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if c.checkAccess(x, held, true) {
+				c.scan(x.X, held)
+				return
+			}
+			e = x.X
+		default:
+			c.scan(e, held)
+			return
+		}
+	}
+}
+
+// checkAccess reports an unguarded access to an annotated field; returns
+// whether the selector resolved to a guarded field.
+func (c *lockChecker) checkAccess(sel *ast.SelectorExpr, held *lockSet, write bool) bool {
+	fld, owner := fieldOf(c.pass.Info, sel)
+	if fld == nil {
+		return false
+	}
+	pkg, typ, ok := namedKey(owner)
+	if !ok {
+		return false
+	}
+	mu, guarded := c.pass.Ann.GuardedBy(pkg, typ, fld.Name())
+	if !guarded {
+		return false
+	}
+	// Builders construct the value before publication.
+	for _, fn := range c.pm.enclosingFuncs(sel) {
+		if returnsType(signatureOf(c.pass.Info, fn), pkg, typ) {
+			return true
+		}
+	}
+	key := exprKey(sel.X) + "." + mu
+	switch {
+	case held.w[key] > 0:
+	case !write && held.r[key] > 0:
+	case write && held.r[key] > 0:
+		c.pass.Reportf(sel.Pos(),
+			"write to %s.%s with %s held in read mode; Lock it for writing (//vebo:guardedby)",
+			typ, fld.Name(), mu)
+	default:
+		c.pass.Reportf(sel.Pos(),
+			"access to %s.%s without holding %s.%s (//vebo:guardedby)",
+			typ, fld.Name(), exprKey(sel.X), mu)
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// Obshandle enforces the observability-facade contract (DESIGN.md §6):
+// metric and trace handles come from the nil-safe constructors
+// (obs.NewRegistry, obs.NewTracer) or from registry getters — a raw
+// composite literal skips map initialization and breaks the documented
+// "nil receiver is a no-op" property. Registered series must also follow
+// the canonical naming vocabulary so dashboards and the CI report
+// validator can rely on it: names match vebo_[a-z0-9_]*, counters end in
+// _total, histograms in _ns, gauges in neither, and labels come in
+// key/value pairs.
+//
+// The obs package itself (and its tests) is exempt from the literal rule:
+// it is the one place allowed to build handles by hand.
+var Obshandle = &Analyzer{
+	Name: "obshandle",
+	Doc:  "obs handles use nil-safe constructors; metric names follow the vebo_* vocabulary",
+	Run:  runObshandle,
+}
+
+var (
+	obsHandleTypes = map[string]bool{
+		"Registry": true, "Tracer": true, "Counter": true,
+		"Gauge": true, "Histogram": true,
+	}
+	metricNameRE = regexp.MustCompile(`^vebo_[a-z0-9_]*[a-z0-9]$`)
+)
+
+func isObsPath(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return strings.HasSuffix(path, "internal/obs")
+}
+
+func runObshandle(pass *Pass) error {
+	inObs := isObsPath(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if inObs {
+					return true
+				}
+				named := derefNamed(pass.Info.Types[n].Type)
+				if pkg, typ, ok := namedKey(named); ok && isObsPath(pkg) && obsHandleTypes[typ] {
+					pass.Reportf(n.Pos(),
+						"raw obs.%s literal bypasses the nil-safe constructors; use obs.New%s or a registry getter",
+						typ, constructorFor(typ))
+				}
+			case *ast.CallExpr:
+				// The obs package's own tests exercise registry mechanics
+				// with synthetic names; the vocabulary binds everyone else.
+				if !inObs {
+					checkMetricCall(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func constructorFor(typ string) string {
+	switch typ {
+	case "Counter", "Gauge", "Histogram":
+		return "Registry plus Registry." + typ
+	default:
+		return typ
+	}
+}
+
+// checkMetricCall validates names and label shape at Registry.Counter /
+// Gauge / Histogram registration sites.
+func checkMetricCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	kind := sel.Sel.Name
+	switch kind {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return
+	}
+	recv := derefNamed(pass.Info.Types[sel.X].Type)
+	if pkg, typ, ok := namedKey(recv); !ok || !isObsPath(pkg) || typ != "Registry" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	if name, ok := stringConst(pass.Info, call.Args[0]); ok {
+		if !metricNameRE.MatchString(name) {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name %q outside the canonical vocabulary (want vebo_[a-z0-9_]*)", name)
+		} else {
+			total := strings.HasSuffix(name, "_total")
+			ns := strings.HasSuffix(name, "_ns")
+			switch {
+			case kind == "Counter" && !total:
+				pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+			case kind == "Histogram" && !ns:
+				pass.Reportf(call.Args[0].Pos(), "histogram %q must end in _ns", name)
+			case kind == "Gauge" && (total || ns):
+				pass.Reportf(call.Args[0].Pos(),
+					"gauge %q must not use the _total/_ns suffixes reserved for counters and histograms", name)
+			}
+		}
+	}
+	// Labels are key/value pairs; a slice spread is opaque to this check.
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	if nlabels := len(call.Args) - 1; nlabels%2 != 0 {
+		pass.Reportf(call.Args[1].Pos(),
+			"odd label count %d in %s registration; labels are key/value pairs", nlabels, kind)
+	}
+}

@@ -1,0 +1,44 @@
+// Seeded violations for the atomicfield analyzer: hits is published through
+// sync/atomic in bump, so every other access must be atomic too.
+package a
+
+import "sync/atomic"
+
+type counterSet struct {
+	hits  int64
+	other int64
+}
+
+func newCounterSet() *counterSet {
+	c := &counterSet{}
+	c.hits = 1 // builder: the value is unpublished here
+	return c
+}
+
+func (c *counterSet) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counterSet) read() int64 {
+	return c.hits // want `non-atomic access of counterSet\.hits`
+}
+
+func (c *counterSet) reset() {
+	c.hits = 0 // want `non-atomic access of counterSet\.hits`
+}
+
+func (c *counterSet) plain() int64 {
+	return c.other // never touched atomically; plain access is fine
+}
+
+type gauges struct {
+	cur atomic.Int64
+}
+
+func (g *gauges) ok() int64 { return g.cur.Load() }
+
+func (g *gauges) ref() *atomic.Int64 { return &g.cur }
+
+func snapshot(g *gauges) atomic.Int64 {
+	return g.cur // want `copied by value`
+}

@@ -1,0 +1,43 @@
+// The canonical fix for atomicfield/a: every access to hits goes through
+// sync/atomic, and the atomic value is read through its methods instead of
+// being copied.
+package fixed
+
+import "sync/atomic"
+
+type counterSet struct {
+	hits  int64
+	other int64
+}
+
+func newCounterSet() *counterSet {
+	c := &counterSet{}
+	c.hits = 1
+	return c
+}
+
+func (c *counterSet) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counterSet) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counterSet) reset() {
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+func (c *counterSet) plain() int64 {
+	return c.other
+}
+
+type gauges struct {
+	cur atomic.Int64
+}
+
+func (g *gauges) ok() int64 { return g.cur.Load() }
+
+func snapshot(g *gauges) int64 {
+	return g.cur.Load()
+}

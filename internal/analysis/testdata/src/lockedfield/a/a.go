@@ -1,0 +1,67 @@
+// Seeded violations for the lockedfield analyzer: m and seq are
+// //vebo:guardedby mu, mirroring the allocator's ID maps and the trace
+// ring.
+package a
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	//vebo:guardedby mu
+	m map[string]int
+	//vebo:guardedby mu
+	seq int
+}
+
+func newTable() *table {
+	t := &table{m: map[string]int{}}
+	t.seq = 1 // builder: the value is unpublished here
+	return t
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.seq++
+	t.mu.Unlock()
+}
+
+func (t *table) sorted() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.m))
+	for k := range t.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (t *table) racyGet(k string) int {
+	return t.m[k] // want `access to table\.m without holding t\.mu`
+}
+
+func (t *table) racyPut(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = v // want `write to table\.m with mu held in read mode`
+}
+
+func (t *table) leak() {
+	t.mu.Lock()
+	go func() {
+		t.seq++ // want `access to table\.seq without holding t\.mu`
+	}()
+	t.mu.Unlock()
+}
+
+func (t *table) wrongInstance(u *table) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return u.m["k"] // want `access to table\.m without holding u\.mu`
+}

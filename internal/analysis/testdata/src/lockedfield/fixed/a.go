@@ -1,0 +1,58 @@
+// The canonical fix for lockedfield/a: every guarded access takes the
+// right mutex on the right instance, and writes upgrade to Lock.
+package fixed
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	//vebo:guardedby mu
+	m map[string]int
+	//vebo:guardedby mu
+	seq int
+}
+
+func newTable() *table {
+	t := &table{m: map[string]int{}}
+	t.seq = 1
+	return t
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.seq++
+	t.mu.Unlock()
+}
+
+func (t *table) racyGet(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) racyPut(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+func (t *table) leak() {
+	go func() {
+		t.mu.Lock()
+		t.seq++
+		t.mu.Unlock()
+	}()
+}
+
+func (t *table) wrongInstance(u *table) int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.m["k"]
+}

@@ -1,0 +1,25 @@
+// Seeded violations for the obshandle analyzer: raw handle literals and
+// off-vocabulary metric names.
+package a
+
+import "repro/internal/obs"
+
+func handles() (*obs.Registry, obs.Tracer) {
+	r := &obs.Registry{} // want `raw obs\.Registry literal`
+	t := obs.Tracer{}    // want `raw obs\.Tracer literal`
+	return r, t
+}
+
+func names(r *obs.Registry) {
+	r.Counter("requests_total")            // want `metric name "requests_total" outside the canonical vocabulary`
+	r.Counter("vebo_requests")             // want `counter "vebo_requests" must end in _total`
+	r.Histogram("vebo_lat_ms")             // want `histogram "vebo_lat_ms" must end in _ns`
+	r.Gauge("vebo_live_ns")                // want `gauge "vebo_live_ns" must not use`
+	r.Counter("vebo_requests_total", "op") // want `odd label count 1`
+}
+
+func canonical(r *obs.Registry) {
+	r.Counter("vebo_requests_total", "op", "insert").Inc()
+	r.Gauge("vebo_epoch").Set(3)
+	r.Histogram("vebo_query_ns", "alg", "bfs").Observe(10)
+}

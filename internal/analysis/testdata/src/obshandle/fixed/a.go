@@ -1,0 +1,16 @@
+// The canonical fix for obshandle/a: handles come from the nil-safe
+// constructors and names follow the vebo_* vocabulary.
+package fixed
+
+import "repro/internal/obs"
+
+func handles() (*obs.Registry, *obs.Tracer) {
+	return obs.NewRegistry(), obs.NewTracer(0)
+}
+
+func names(r *obs.Registry) {
+	r.Counter("vebo_requests_total")
+	r.Counter("vebo_requests_total", "op", "insert")
+	r.Histogram("vebo_lat_ns")
+	r.Gauge("vebo_live_edges")
+}

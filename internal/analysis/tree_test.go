@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteCleanOnTree is the local mirror of the CI vebovet gate: the
+// full analyzer suite must come back empty over every package in the
+// module (tests included). A finding here means either a real contract
+// violation to fix or a rule that needs narrowing — never a suppression.
+func TestSuiteCleanOnTree(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing module paths", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", pkg.Path, terr)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	diags, err := Run(pkgs, All(), l.Ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

@@ -44,7 +44,10 @@ type Options struct {
 }
 
 // Result describes a VEBO ordering of a graph with n vertices into P
-// partitions.
+// partitions. Published results are shared across epochs by the dynamic
+// maintenance layer (COW: repairs copy before permuting).
+//
+//vebo:frozen
 type Result struct {
 	P int
 	// Perm maps old vertex ID to new vertex ID; it is a permutation of

@@ -16,8 +16,10 @@ import (
 // Intern is writer-side (the goroutine applying batches); Lookup, External
 // and Externals may run concurrently from any number of reader goroutines.
 type Allocator struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	//vebo:guardedby mu
 	extToInt map[uint64]graph.VertexID
+	//vebo:guardedby mu
 	intToExt []uint64
 }
 

@@ -1,0 +1,84 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzAllocatorSequence fuzzes whole operation sequences — identity
+// seeding, interleaved interns (with collisions forced by a narrow
+// external-ID space), lookups and reverse mappings — against a flat model
+// of the external↔internal correspondence. The single-ID round-trip fuzz
+// (FuzzAllocatorRoundTrip) stays as the quick regression; this target
+// covers ordering and append-only invariants across operations.
+func FuzzAllocatorSequence(f *testing.F) {
+	f.Add(uint8(0), []byte{1, 0, 1, 2, 0, 1, 3, 0, 2})
+	f.Add(uint8(4), []byte{0, 0, 0, 0, 0, 1})
+	f.Add(uint8(16), []byte{2, 0, 9, 1, 0, 9, 3, 0, 9, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, seed uint8, ops []byte) {
+		a := NewAllocator()
+		var model []uint64              // internal ID -> external ID
+		index := make(map[uint64]int)   // external ID -> internal ID
+		if n := int(seed % 32); n > 0 { // dense-prefix convention
+			a.SeedIdentity(n)
+			for i := 0; i < n; i++ {
+				model = append(model, uint64(i))
+				index[uint64(i)] = i
+			}
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			op := ops[i] % 4
+			// A narrow external space makes re-interns common.
+			ext := uint64(ops[i+1])<<8 | uint64(ops[i+2])
+			switch op {
+			case 0: // Intern
+				id, isNew := a.Intern(ext)
+				if prev, ok := index[ext]; ok {
+					if isNew || int(id) != prev {
+						t.Fatalf("re-intern %d: got (%d,%v) want (%d,false)", ext, id, isNew, prev)
+					}
+				} else {
+					if !isNew || int(id) != len(model) {
+						t.Fatalf("fresh intern %d: got (%d,%v) want (%d,true)", ext, id, isNew, len(model))
+					}
+					index[ext] = len(model)
+					model = append(model, ext)
+				}
+			case 1: // Lookup
+				id, ok := a.Lookup(ext)
+				want, wantOK := index[ext]
+				if ok != wantOK || (ok && int(id) != want) {
+					t.Fatalf("Lookup(%d)=(%d,%v) want (%d,%v)", ext, id, ok, want, wantOK)
+				}
+			case 2: // External (reverse map), probed by internal ID
+				probe := graph.VertexID(0)
+				if len(model) > 0 {
+					probe = graph.VertexID(int(ext) % (len(model) + 1)) // may be one past the end
+				}
+				back, ok := a.External(probe)
+				if int(probe) < len(model) {
+					if !ok || back != model[probe] {
+						t.Fatalf("External(%d)=(%d,%v) want (%d,true)", probe, back, ok, model[probe])
+					}
+				} else if ok {
+					t.Fatalf("External(%d) resolved out-of-range to %d", probe, back)
+				}
+			case 3: // Externals prefix
+				n := int(ext) % (len(model) + 1)
+				exts := a.Externals(n)
+				if len(exts) != n {
+					t.Fatalf("Externals(%d) returned %d entries", n, len(exts))
+				}
+				for j, e := range exts {
+					if e != model[j] {
+						t.Fatalf("Externals(%d)[%d]=%d want %d", n, j, e, model[j])
+					}
+				}
+			}
+			if a.Len() != len(model) {
+				t.Fatalf("Len()=%d want %d", a.Len(), len(model))
+			}
+		}
+	})
+}

@@ -1515,6 +1515,8 @@ func argMin2(primary, secondary []int64) int {
 // so freezing costs O(pending) regardless of graph size. A Frozen may be
 // materialized from any goroutine, concurrently with further ApplyBatch
 // calls on the source graph.
+//
+//vebo:frozen
 type Frozen struct {
 	n         int
 	weighted  bool

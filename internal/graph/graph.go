@@ -29,6 +29,8 @@ type Edge struct {
 // by source) and CSC (in-edges, grouped by destination) form. Both views are
 // built once at construction and are immutable afterwards; the processing
 // engines read whichever view suits the traversal direction.
+//
+//vebo:frozen allow=sortAdjacency
 type Graph struct {
 	n int // number of vertices
 

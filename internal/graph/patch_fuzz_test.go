@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzPatchEdgesPermN drives the grown-injection contract with fuzzed
+// graphs, injections, swaps and edge churn, using relabel+rebuild over the
+// grown space as the oracle. Invalid shapes the fuzzer produces must be
+// rejected with an error, never a panic or a silently wrong graph.
+func FuzzPatchEdgesPermN(f *testing.F) {
+	f.Add(uint8(8), uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(1), uint8(1), []byte{0, 0, 0})
+	f.Add(uint8(31), uint8(7), []byte{0xff, 0x80, 0x40, 0x20, 0x10, 8, 4, 2, 1, 0})
+	f.Add(uint8(5), uint8(0), []byte{9, 9, 9, 9, 1, 2})
+	f.Fuzz(func(t *testing.T, nOldB, growB uint8, data []byte) {
+		next := byteStream(data)
+		nOld := 1 + int(nOldB%32)
+		growth := int(growB % 8)
+		nNew := nOld + growth
+		weighted := len(data)%2 == 0
+
+		// Base graph from the byte stream.
+		nEdges := int(next()) % 64
+		edges := make([]Edge, 0, nEdges)
+		for i := 0; i < nEdges; i++ {
+			w := int32(1)
+			if weighted {
+				w = int32(next()%4) + 1
+			}
+			edges = append(edges, Edge{
+				Src:    VertexID(int(next()) % nOld),
+				Dst:    VertexID(int(next()) % nOld),
+				Weight: w,
+			})
+		}
+		g, err := FromEdges(nOld, edges, weighted)
+		if err != nil {
+			t.Fatalf("FromEdges on in-range inputs: %v", err)
+		}
+
+		// Injection: a growth shift with byte-chosen holes plus a few swaps,
+		// the shape repair + admission epochs produce.
+		holes := make([]VertexID, 0, growth)
+		used := make(map[VertexID]bool)
+		for len(holes) < growth {
+			h := VertexID(int(next()) % nNew)
+			for used[h] {
+				h = (h + 1) % VertexID(nNew)
+			}
+			used[h] = true
+			holes = append(holes, h)
+		}
+		perm := growthInjection(nOld, nNew, holes)
+		for s := int(next()) % 4; s > 0; s-- {
+			a, b := int(next())%nOld, int(next())%nOld
+			perm[a], perm[b] = perm[b], perm[a]
+		}
+
+		// Churn: delete live edges (named in new-ID space), add edges that
+		// may touch grown IDs.
+		live := g.Edges()
+		var dels []Edge
+		for i := int(next()) % 8; i > 0 && len(live) > 0; i-- {
+			j := int(next()) % len(live)
+			e := live[j]
+			dels = append(dels, Edge{Src: perm[e.Src], Dst: perm[e.Dst], Weight: e.Weight})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		var adds []Edge
+		for i := int(next()) % 8; i > 0; i-- {
+			w := int32(1)
+			if weighted {
+				w = int32(next()%4) + 1
+			}
+			src := VertexID(int(next()) % nNew)
+			if len(holes) > 0 && next()%2 == 0 {
+				src = holes[int(next())%len(holes)]
+			}
+			adds = append(adds, Edge{Src: src, Dst: VertexID(int(next()) % nNew), Weight: w})
+		}
+
+		patched, st, err := g.PatchEdgesPermN(nNew, adds, dels, perm)
+		if err != nil {
+			t.Fatalf("valid grown patch rejected: %v", err)
+		}
+		want, err := FromEdges(nNew, append(applyPermToEdges(live, perm), adds...), weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(patched, want) {
+			t.Fatalf("nOld=%d nNew=%d: grown perm patch differs from relabel+rebuild", nOld, nNew)
+		}
+		if covered := st.EdgesCopied + st.EdgesMerged + st.EdgesRemapped; covered < patched.NumEdges() {
+			t.Fatalf("stats cover %d of %d edges", covered, patched.NumEdges())
+		}
+
+		// The validation surface: malformed injections must error out.
+		if _, _, err := g.PatchEdgesPermN(nOld-1, nil, nil, nil); err == nil {
+			t.Fatal("shrinking patch accepted")
+		}
+		if nOld >= 2 {
+			bad := make([]VertexID, nOld)
+			copy(bad, perm[:nOld])
+			bad[1] = bad[0] // collide: no longer injective
+			if _, _, err := g.PatchEdgesPermN(nNew, nil, nil, bad); err == nil {
+				t.Fatal("non-injective perm accepted")
+			}
+		}
+		if _, _, err := g.PatchEdgesPermN(nNew, []Edge{{Src: VertexID(nNew), Dst: 0, Weight: 1}}, nil, perm); err == nil {
+			t.Fatal("out-of-range add accepted")
+		}
+	})
+}
+
+// byteStream returns a cursor over data that yields 0 forever once
+// exhausted, keeping derivations total on arbitrary fuzz inputs.
+func byteStream(data []byte) func() byte {
+	i := 0
+	return func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+}

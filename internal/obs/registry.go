@@ -111,7 +111,8 @@ type entry struct {
 // may run from any goroutine; the returned handles are lock-free. All
 // methods are no-ops (returning nil handles) on a nil receiver.
 type Registry struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//vebo:guardedby mu
 	byKey map[string]*entry
 }
 

@@ -33,8 +33,10 @@ const DefaultTraceCapacity = 1024
 // both emit); when the ring is full the oldest events are overwritten —
 // Dropped counts them. All methods are no-ops on a nil receiver.
 type Tracer struct {
-	mu      sync.Mutex
-	buf     []Event
+	mu sync.Mutex
+	//vebo:guardedby mu
+	buf []Event
+	//vebo:guardedby mu
 	emitted uint64 // total events ever emitted; buf holds the newest len(buf)
 }
 

@@ -39,6 +39,8 @@ import (
 // from the basis view's snapshot (original IDs never change, so snapshot
 // patching survives even full renumberings). ViewWork reports the
 // resulting rebuild-versus-patch-versus-relabel work split.
+//
+//vebo:frozen
 type View struct {
 	epoch      int64
 	renumEpoch int64 // numbering lineage (dynamic.RenumEpoch) at publish
@@ -229,6 +231,31 @@ func (d *Dynamic) ViewWork() ViewWork { return d.work.snapshot() }
 // matter how many epochs pass between queries, while a reader that never
 // comes back costs only the bounded sinceAnchor map — which resets, dropping
 // the basis, if it ever outgrows the delta-log compaction bound.
+// buildView assembles the next epoch's View. It is the type's one builder
+// (frozenwrite enforces that): the returned value is fully initialized
+// before publish stores it, and nothing mutates it afterwards outside the
+// once-guarded lazy caches.
+func (d *Dynamic) buildView(basis *View) *View {
+	v := &View{
+		epoch:      d.inner.Epoch(),
+		renumEpoch: d.inner.RenumEpoch(),
+		anchorID:   d.anchorID,
+		nverts:     d.inner.NumVertices(),
+		parts:      d.inner.Partitions(),
+		ord:        d.inner.Ordering(),
+		frozen:     d.inner.Freeze(),
+		opts:       d.engOpts,
+		delta:      d.sinceAnchor,
+		d:          d,
+		work:       d.work,
+	}
+	if alloc := d.alloc.Load(); alloc != nil {
+		v.exts = alloc.Externals(v.nverts)
+	}
+	v.basis.Store(basis)
+	return v
+}
+
 func (d *Dynamic) publish() {
 	drained := d.inner.DrainViewDelta()
 	var basis *View
@@ -274,23 +301,7 @@ func (d *Dynamic) publish() {
 			basis = d.basisView
 		}
 	}
-	v := &View{
-		epoch:      d.inner.Epoch(),
-		renumEpoch: d.inner.RenumEpoch(),
-		anchorID:   d.anchorID,
-		nverts:     d.inner.NumVertices(),
-		parts:      d.inner.Partitions(),
-		ord:        d.inner.Ordering(),
-		frozen:     d.inner.Freeze(),
-		opts:       d.engOpts,
-		delta:      d.sinceAnchor,
-		d:          d,
-		work:       d.work,
-	}
-	if alloc := d.alloc.Load(); alloc != nil {
-		v.exts = alloc.Externals(v.nverts)
-	}
-	v.basis.Store(basis)
+	v := d.buildView(basis)
 	d.work.epochs.Add(1)
 	d.cur.Store(v)
 	basisEpoch := int64(-1)
