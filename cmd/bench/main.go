@@ -8,8 +8,11 @@
 //
 // -wall is shorthand for -exp wall, the wall-clock latency harness: real
 // (not modeled) ingest and query latencies with p50/p95/p99, written as
-// BENCH_wall.json when -json names a directory. See DESIGN.md §3 for the
-// experiment index and §6 for the JSON report schema.
+// BENCH_wall.json when -json names a directory. -exp refine measures
+// refined-vs-scratch query latency across ingest batch sizes (View.Refine*,
+// DESIGN.md §5d) and fails in -quick mode when refinement stops beating
+// scratch at the smallest batch. See DESIGN.md §3 for the experiment index
+// and §6 for the JSON report schema.
 package main
 
 import (
@@ -29,7 +32,7 @@ func main() {
 	partitions := flag.Int("partitions", 384, "GraphGrind partition count")
 	sockets := flag.Int("sockets", 4, "modeled NUMA sockets")
 	threads := flag.Int("threads", 12, "modeled threads per socket")
-	quick := flag.Bool("quick", false, "CI smoke mode: small graphs, 2–3 streaming batches, and fail if the view experiment's maintained-row work ratio drops to ≤ 1×")
+	quick := flag.Bool("quick", false, "CI smoke mode: small graphs, few streaming batches, and fail on gate regressions (view work ratio ≤ 1×, refine speedup ≤ 1×)")
 	wall := flag.Bool("wall", false, "shorthand for -exp wall: measure real ingest/query latency (p50/p95/p99) instead of modeled work")
 	jsonDir := flag.String("json", "", "directory receiving BENCH_<experiment>.json reports (empty: no JSON)")
 	flag.Parse()

@@ -1,0 +1,202 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// seqBFSDepths is a sequential oracle for BFSDepths.
+func seqBFSDepths(g *graph.Graph, root graph.VertexID) []int64 {
+	depth := make([]int64, g.NumVertices())
+	for i := range depth {
+		depth[i] = RelaxInf
+	}
+	depth[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, t := range g.OutNeighbors(u) {
+			if depth[t] > depth[u]+1 {
+				depth[t] = depth[u] + 1
+				queue = append(queue, t)
+			}
+		}
+	}
+	return depth
+}
+
+// seqMinLabelHops is a sequential oracle for CCSeeded with identity
+// injections: per vertex the smallest reaching ID and its hop distance,
+// iterated to fixpoint.
+func seqMinLabelHops(g *graph.Graph) []int64 {
+	n := g.NumVertices()
+	state := make([]int64, n)
+	for v := 0; v < n; v++ {
+		state[v] = PackCC(uint32(v), 0)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges() {
+			if nd := state[e.Src] + 1; nd < state[e.Dst] {
+				state[e.Dst] = nd
+				changed = true
+			}
+		}
+	}
+	return state
+}
+
+func TestBFSDepthsMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	want := seqBFSDepths(g, 0)
+	for _, e := range engines(t, g) {
+		got := BFSDepths(e, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: depth[%d] = %d, want %d", e.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestRelaxResumeAfterInsertions checks the resume contract on the
+// insert-only case: seeding with the old graph's converged depths (valid
+// upper bounds after insertions) and frontiering the inserted-edge sources
+// must land on the new graph's exact fixpoint.
+func TestRelaxResumeAfterInsertions(t *testing.T) {
+	g := testGraph(t)
+	n := g.NumVertices()
+	seedDepth := seqBFSDepths(g, 0)
+
+	extra := []graph.Edge{
+		{Src: 0, Dst: graph.VertexID(n - 1)},
+		{Src: graph.VertexID(n - 1), Dst: graph.VertexID(n / 2)},
+		{Src: graph.VertexID(n / 3), Dst: graph.VertexID(n - 2)},
+	}
+	g2, err := graph.FromEdges(n, append(g.Edges(), extra...), g.Weighted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqBFSDepths(g2, 0)
+	for _, e := range engines(t, g2) {
+		val := make([]int64, n)
+		copy(val, seedDepth)
+		srcs := []graph.VertexID{0, graph.VertexID(n / 3), graph.VertexID(n - 1)}
+		got := BFSDepthsResume(e, val, frontier.FromVertices(g2, srcs))
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: resumed depth[%d] = %d, want %d", e.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPackCCOrderIsLexicographic(t *testing.T) {
+	cases := []struct {
+		l1, l2 uint32
+		h1, h2 int32
+	}{
+		{0, 1, 100, 0},     // smaller label wins regardless of hops
+		{3, 3, 2, 7},       // same label: fewer hops wins
+		{7, 8, 0, 0},       // plain label order
+		{5, 5, 0, 1 << 30}, // large hop counts stay in the low word
+	}
+	for _, c := range cases {
+		a, b := PackCC(c.l1, c.h1), PackCC(c.l2, c.h2)
+		if !(a < b) {
+			t.Fatalf("PackCC(%d,%d) = %d not < PackCC(%d,%d) = %d", c.l1, c.h1, a, c.l2, c.h2, b)
+		}
+		if UnpackCCLabel(a) != c.l1 || UnpackCCLabel(b) != c.l2 {
+			t.Fatalf("label round-trip failed for %+v", c)
+		}
+	}
+}
+
+func TestCCSeededMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	want := seqMinLabelHops(g)
+	init := make([]uint32, g.NumVertices())
+	for v := range init {
+		init[v] = uint32(v)
+	}
+	for _, e := range engines(t, g) {
+		got := CCSeeded(e, init)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: cc state[%d] = %x, want %x", e.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestPageRankResumeMatchesCold perturbs a converged graph — insertions,
+// deletions and vertex growth — and checks that resuming from the basis
+// vector lands within tolerance of a cold equal-ε run on the new graph.
+func TestPageRankResumeMatchesCold(t *testing.T) {
+	const eps = 1e-9
+	g := testGraph(t)
+	n := g.NumVertices()
+	var seed []float64
+	for _, e := range engines(t, g) {
+		seed = PageRankDelta(e, 400, eps)
+		break
+	}
+
+	// New graph: two vertices admitted, a handful of edges inserted (some
+	// from grown vertices) and the first out-edge of a high-degree vertex
+	// deleted.
+	n2 := n + 2
+	edges := g.Edges()
+	var dels []graph.Edge
+	var hub graph.VertexID
+	for v := 1; v < n; v++ {
+		if g.OutDegree(graph.VertexID(v)) > g.OutDegree(hub) {
+			hub = graph.VertexID(v)
+		}
+	}
+	victim := graph.Edge{Src: hub, Dst: g.OutNeighbors(hub)[0], Weight: g.OutWeights(hub)[0]}
+	kept := edges[:0]
+	for _, e := range edges {
+		if e != victim || len(dels) > 0 {
+			kept = append(kept, e)
+		} else {
+			dels = append(dels, e)
+		}
+	}
+	adds := []graph.Edge{
+		{Src: graph.VertexID(n), Dst: 0, Weight: 1},
+		{Src: 4, Dst: graph.VertexID(n + 1), Weight: 1},
+		{Src: graph.VertexID(n + 1), Dst: 9, Weight: 1},
+		{Src: 9, Dst: 2, Weight: 1},
+	}
+	g2, err := graph.FromEdges(n2, append(kept, adds...), g.Weighted())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldDeg := map[graph.VertexID]int64{
+		hub:                   int64(g.OutDegree(hub)),
+		4:                     int64(g.OutDegree(4)),
+		9:                     int64(g.OutDegree(9)),
+		graph.VertexID(n):     0,
+		graph.VertexID(n + 1): 0,
+	}
+	for _, e := range engines(t, g2) {
+		rank := make([]float64, n2)
+		copy(rank, seed)
+		got := PageRankResume(e, rank, RankDelta{
+			Adds: adds, Dels: dels, OldOutDeg: oldDeg, NOld: n,
+			Grown: []graph.VertexID{graph.VertexID(n), graph.VertexID(n + 1)},
+		}, 400, eps)
+		want := PageRankDelta(e, 400, eps)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+				t.Fatalf("%s: resumed rank[%d] = %.12g, want %.12g", e.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}

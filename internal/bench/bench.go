@@ -71,7 +71,7 @@ func (c Config) WithDefaults() Config {
 
 // Experiments lists the available experiment names in paper order.
 func Experiments() []string {
-	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners", "dynamic", "view", "grow", "wall"}
+	return []string{"fig1", "table1", "table3", "table4", "fig4", "fig5", "table5", "fig6", "table6", "partitioners", "dynamic", "view", "grow", "refine", "wall"}
 }
 
 // Run executes the named experiment ("all" runs every one).
@@ -104,6 +104,8 @@ func Run(name string, cfg Config) error {
 		return View(cfg)
 	case "grow":
 		return Grow(cfg)
+	case "refine":
+		return Refine(cfg)
 	case "wall":
 		return Wall(cfg)
 	case "all":

@@ -30,7 +30,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestExperimentsList(t *testing.T) {
-	if len(Experiments()) != 14 {
+	if len(Experiments()) != 15 {
 		t.Fatalf("experiment count = %d", len(Experiments()))
 	}
 }
@@ -46,6 +46,61 @@ func TestGrowSmoke(t *testing.T) {
 	for _, want := range []string{"vertex arrivals", "patched", "rebuild", "maintained", "work ratio"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRefineSmoke mirrors the CI gate on the refinement experiment: quick
+// mode must pass its speedup gates and produce a parseable BENCH_refine.json
+// with populated refined + scratch series for both gated algorithms at the
+// smallest batch size.
+func TestRefineSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Quick = true
+	cfg.JSONDir = t.TempDir()
+	if err := Run("refine", cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_refine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("BENCH_refine.json invalid: %v", err)
+	}
+	if r.Experiment != "refine" || r.GeneratedUnix == 0 {
+		t.Fatalf("report header = %+v", r)
+	}
+	gates := map[string]bool{}
+	for _, g := range r.Gates {
+		gates[g.Name] = g.Pass
+	}
+	for _, name := range []string{"refine_speedup_bfs", "refine_speedup_pagerank"} {
+		if pass, ok := gates[name]; !ok || !pass {
+			t.Fatalf("gate %s missing or failed: %+v", name, r.Gates)
+		}
+	}
+	small := 0
+	for _, s := range r.Series {
+		if small == 0 || s.Batch < small {
+			small = s.Batch
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range r.Series {
+		if s.Batch != small {
+			continue
+		}
+		seen[s.Alg+":"+s.Variant] = true
+		if s.Count == 0 || s.MeanMs <= 0 {
+			t.Fatalf("unpopulated series %+v", s)
+		}
+	}
+	for _, want := range []string{"bfs:refined", "bfs:scratch", "pagerank:refined", "pagerank:scratch"} {
+		if !seen[want] {
+			t.Fatalf("missing series %s at batch %d; have %v", want, small, seen)
 		}
 	}
 }

@@ -39,9 +39,11 @@ type ReportConfig struct {
 // milliseconds from the obs registry's log-bucketed histograms (2× quantile
 // error bound).
 type LatencySeries struct {
-	Op        string  `json:"op"`               // "ingest" or "query"
-	Alg       string  `json:"alg,omitempty"`    // query algorithm, empty for ingest
-	System    string  `json:"system,omitempty"` // framework model, empty for ingest
+	Op        string  `json:"op"`                // "ingest" or "query"
+	Alg       string  `json:"alg,omitempty"`     // query algorithm, empty for ingest
+	System    string  `json:"system,omitempty"`  // framework model, empty for ingest
+	Variant   string  `json:"variant,omitempty"` // query strategy (refine: "refined" vs "scratch")
+	Batch     int     `json:"batch,omitempty"`   // ingest batch size shaping the series, when varied
 	Count     int64   `json:"count"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50Ms     float64 `json:"p50_ms"`

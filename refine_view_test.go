@@ -1,0 +1,326 @@
+package vebo
+
+import (
+	"math"
+	"testing"
+)
+
+// refSeqDepths is a sequential BFS-depth oracle over a snapshot (-1
+// unreached), matching RefineBFS's result semantics.
+func refSeqDepths(snap *Graph, root VertexID) []int32 {
+	depth := make([]int32, snap.NumVertices())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	queue := []VertexID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, t := range snap.OutNeighbors(u) {
+			if depth[t] < 0 {
+				depth[t] = depth[u] + 1
+				queue = append(queue, t)
+			}
+		}
+	}
+	return depth
+}
+
+// refSeqLabels is a sequential oracle for RefineCC's canonical labels: the
+// smallest vertex ID reaching each vertex under directed propagation,
+// iterated to fixpoint.
+func refSeqLabels(snap *Graph) []uint32 {
+	label := make([]uint32, snap.NumVertices())
+	for v := range label {
+		label[v] = uint32(v)
+	}
+	edges := snap.Edges()
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if label[e.Src] < label[e.Dst] {
+				label[e.Dst] = label[e.Src]
+				changed = true
+			}
+		}
+	}
+	return label
+}
+
+// checkRefined compares one epoch's refined results against scratch oracles
+// computed on the same view.
+func checkRefined(t *testing.T, v *View, sys System, root VertexID) (bfsPath, prPath string) {
+	t.Helper()
+	snap := v.Snapshot()
+
+	depths, st, err := v.RefineBFS(sys, root)
+	if err != nil {
+		t.Fatalf("epoch %d %v: RefineBFS: %v", v.Epoch(), sys, err)
+	}
+	bfsPath = st.Path
+	for i, want := range refSeqDepths(snap, root) {
+		if depths[i] != want {
+			t.Fatalf("epoch %d %v (%s): RefineBFS depth[%d] = %d, want %d",
+				v.Epoch(), sys, st.Path, i, depths[i], want)
+		}
+	}
+
+	labels, st, err := v.RefineCC(sys)
+	if err != nil {
+		t.Fatalf("epoch %d %v: RefineCC: %v", v.Epoch(), sys, err)
+	}
+	for i, want := range refSeqLabels(snap) {
+		if labels[i] != want {
+			t.Fatalf("epoch %d %v (%s): RefineCC label[%d] = %d, want %d",
+				v.Epoch(), sys, st.Path, i, labels[i], want)
+		}
+	}
+
+	dist, st, err := v.RefineSSSP(sys, root)
+	if err != nil {
+		t.Fatalf("epoch %d %v: RefineSSSP: %v", v.Epoch(), sys, err)
+	}
+	wantDist, err := v.BellmanFord(sys, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantDist {
+		if dist[i] != wantDist[i] {
+			t.Fatalf("epoch %d %v (%s): RefineSSSP dist[%d] = %d, want %d",
+				v.Epoch(), sys, st.Path, i, dist[i], wantDist[i])
+		}
+	}
+
+	ranks, st, err := v.RefinePageRank(sys, 0)
+	if err != nil {
+		t.Fatalf("epoch %d %v: RefinePageRank: %v", v.Epoch(), sys, err)
+	}
+	prPath = st.Path
+	wantRanks, err := v.PageRankDelta(sys, 400, DefaultRefineEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantRanks {
+		if math.Abs(ranks[i]-wantRanks[i]) > 1e-6*(1+math.Abs(wantRanks[i])) {
+			t.Fatalf("epoch %d %v (%s): RefinePageRank rank[%d] = %.12g, want %.12g",
+				v.Epoch(), sys, st.Path, i, ranks[i], wantRanks[i])
+		}
+	}
+	return bfsPath, prPath
+}
+
+// TestRefineMatchesScratchAcrossEpochs is the tentpole property test: a
+// mixed repair/growth powerlaw stream queried every epoch, rotating the
+// framework model, with every refined result checked against a scratch
+// oracle on the same view. The refine path (not just the fallback) must
+// actually run for the test to mean anything.
+func TestRefineMatchesScratchAcrossEpochs(t *testing.T) {
+	g, updates, err := GenerateStreamOpts("powerlaw", 0.03, 4000, 7, StreamOptions{GrowFrac: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 64, AutoGrow: true, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 256
+	systems := []System{Ligra, Polymer, GraphGrind}
+	growthEpochs, refined := 0, 0
+	epoch := 0
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		r, err := d.ApplyBatch(updates[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Admitted > 0 {
+			growthEpochs++
+		}
+		v := d.View()
+		bfsPath, prPath := checkRefined(t, v, systems[epoch%len(systems)], 0)
+		if bfsPath == RefineRefined {
+			refined++
+		}
+		if epoch == 0 {
+			if bfsPath != RefineScratchSeed || prPath != RefineScratchSeed {
+				t.Fatalf("first epoch paths = %s/%s, want scratch-seed", bfsPath, prPath)
+			}
+		}
+		epoch++
+	}
+	if growthEpochs == 0 {
+		t.Fatal("stream admitted no vertices; growth refinement was not exercised")
+	}
+	if refined < epoch/2 {
+		t.Fatalf("refine path ran on only %d of %d epochs; basis seeding is broken", refined, epoch)
+	}
+}
+
+// TestRefineCachedOnSameView checks that a second identical query on the
+// same view is answered from the view's own capture.
+func TestRefineCachedOnSameView(t *testing.T) {
+	g, updates, err := GenerateStream("powerlaw", 0.03, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 32, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch(updates); err != nil {
+		t.Fatal(err)
+	}
+	v := d.View()
+	first, st, err := v.RefineBFS(Ligra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Path != RefineScratchSeed {
+		t.Fatalf("first query path = %s, want scratch-seed", st.Path)
+	}
+	// Same key on a different system: captures are model-independent.
+	again, st, err := v.RefineBFS(Polymer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Path != RefineCached {
+		t.Fatalf("second query path = %s, want cached", st.Path)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("cached result diverges at %d", i)
+		}
+	}
+	// A different root is a different key and must not hit the cache.
+	if _, st, err = v.RefineBFS(Ligra, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Path != RefineScratchSeed {
+		t.Fatalf("distinct-root query path = %s, want scratch-seed", st.Path)
+	}
+}
+
+// TestRefineNeverServesStaleAfterRebuild is the invalidation regression: a
+// converged result is captured, then edge deletions — across epochs that
+// renumber the whole vertex space (RepairReplace renumbers on every repair)
+// — must never be answered with the pre-deletion values. Hand-crafted path
+// topology makes staleness detectable at specific vertices.
+func TestRefineNeverServesStaleAfterRebuild(t *testing.T) {
+	const n = 64
+	var edges []Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{Src: VertexID(i), Dst: VertexID(i + 1)})
+	}
+	g, err := FromEdges(n, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{
+		Partitions: 8, Repair: RepairReplace, Engine: viewTestOpts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := d.View()
+	depths, _, err := v1.RefineBFS(Ligra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depths[n-1] != n-1 {
+		t.Fatalf("path depth[%d] = %d, want %d", n-1, depths[n-1], n-1)
+	}
+
+	// Epoch 2: cut the path at 10→11 and bridge 0→20. Everything in [11,20]
+	// goes unreachable; [20,n) re-routes through the bridge.
+	batch := []EdgeUpdate{
+		{Time: 1, Src: 10, Dst: 11, Del: true},
+		{Time: 2, Src: 0, Dst: 20, Weight: 1},
+	}
+	if _, err := d.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	v2 := d.View()
+	depths, st, err := v2.RefineBFS(Ligra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range refSeqDepths(v2.Snapshot(), 0) {
+		if depths[i] != want {
+			t.Fatalf("epoch 2 (%s): depth[%d] = %d, want %d (stale pre-deletion value served?)",
+				st.Path, i, depths[i], want)
+		}
+	}
+	if depths[15] != -1 {
+		t.Fatalf("cut segment still reachable: depth[15] = %d", depths[15])
+	}
+
+	// Epoch 3: heavy skewed churn to force maintenance (a renumbering
+	// rebuild-cause epoch under RepairReplace), plus another cut at 25→26.
+	churn := []EdgeUpdate{{Time: 3, Src: 25, Dst: 26, Del: true}}
+	tm := int64(4)
+	for i := 0; i < 300; i++ {
+		churn = append(churn, EdgeUpdate{Time: tm, Src: VertexID(40 + i%4), Dst: VertexID(i % n), Weight: 1})
+		tm++
+	}
+	if _, err := d.ApplyBatch(churn); err != nil {
+		t.Fatal(err)
+	}
+	v3 := d.View()
+	if st := d.Stats(); st.Repairs == 0 && st.FullRebuilds == 0 {
+		t.Fatal("churn epoch triggered no maintenance; rebuild-cause staleness not exercised")
+	}
+	depths, st, err = v3.RefineBFS(Ligra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range refSeqDepths(v3.Snapshot(), 0) {
+		if depths[i] != want {
+			t.Fatalf("epoch 3 (%s): depth[%d] = %d, want %d (stale result after rebuild-cause epoch)",
+				st.Path, i, depths[i], want)
+		}
+	}
+}
+
+// TestRefineFallbackGate checks that a delta touching more than the gated
+// fraction of vertices takes the scratch-fallback path and still returns
+// correct results.
+func TestRefineFallbackGate(t *testing.T) {
+	g, updates, err := GenerateStream("powerlaw", 0.03, 3000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 32, Engine: viewTestOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small first batch: seeds the capture chain.
+	if _, err := d.ApplyBatch(updates[:64]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.View().RefineBFS(Ligra, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One huge batch: the delta touches far more than n/5 distinct vertices.
+	if _, err := d.ApplyBatch(updates[64:]); err != nil {
+		t.Fatal(err)
+	}
+	v := d.View()
+	depths, st, err := v.RefineBFS(Ligra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Path != RefineScratchFallback {
+		t.Fatalf("huge-delta path = %s, want scratch-fallback", st.Path)
+	}
+	for i, want := range refSeqDepths(v.Snapshot(), 0) {
+		if depths[i] != want {
+			t.Fatalf("fallback depth[%d] = %d, want %d", i, depths[i], want)
+		}
+	}
+}

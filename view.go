@@ -55,6 +55,7 @@ type View struct {
 	basis      atomic.Pointer[View] // materialized view at the anchor point; nil forces scratch builds
 	d          *Dynamic
 	work       *viewWork
+	ref        *refineCache // lineage-keyed Refined captures (refine_view.go)
 
 	snapOnce sync.Once
 	snapP    atomic.Pointer[Graph]
@@ -248,6 +249,7 @@ func (d *Dynamic) buildView(basis *View) *View {
 		delta:      d.sinceAnchor,
 		d:          d,
 		work:       d.work,
+		ref:        newRefineCache(),
 	}
 	if alloc := d.alloc.Load(); alloc != nil {
 		v.exts = alloc.Externals(v.nverts)
