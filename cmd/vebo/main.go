@@ -38,6 +38,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -122,7 +123,9 @@ func runStream(args []string) error {
 			st.RotationAttempts, st.RotationFallbacks, st.RotationStalls)
 	}
 	if st.Admitted > 0 {
-		fmt.Printf("admitted %d vertices (n now %d)\n", st.Admitted, d.NumVertices())
+		free, capacity := d.Headroom()
+		fmt.Printf("admitted %d vertices (n now %d); headroom %d/%d slots occupied, %d relabeling spills\n",
+			st.Admitted, d.NumVertices(), capacity-free, capacity, st.HeadroomSpills)
 	}
 	fmt.Printf("final Δ(n)=%d δ(n)=%d, live edges %d\n",
 		d.EdgeImbalance(), d.VertexImbalance(), d.NumEdges())
@@ -295,11 +298,17 @@ func runServe(args []string) error {
 				case <-done:
 					return
 				case <-t.C:
-					fmt.Printf("[stats] epoch=%d edges=%d Δ=%d pending=%d served=%d q_p50=%v q_p99=%v\n",
+					var hrFree int64
+					for p := 0; p < *parts; p++ {
+						hrFree += reg.Gauge("vebo_headroom_slots", "partition", strconv.Itoa(p)).Value()
+					}
+					fmt.Printf("[stats] epoch=%d edges=%d Δ=%d pending=%d hr_free=%d spills=%d served=%d q_p50=%v q_p99=%v\n",
 						reg.Gauge("vebo_epoch").Value(),
 						reg.Gauge("vebo_live_edges").Value(),
 						reg.Gauge("vebo_edge_imbalance").Value(),
 						reg.Gauge("vebo_pending_ops").Value(),
+						hrFree,
+						reg.Counter("vebo_headroom_spill_total").Value(),
 						queries.Load(),
 						time.Duration(qh.Quantile(0.50)).Round(time.Microsecond),
 						time.Duration(qh.Quantile(0.99)).Round(time.Microsecond))
@@ -370,7 +379,9 @@ func runServe(args []string) error {
 			st.RotationAttempts, st.RotationFallbacks, st.RotationStalls)
 	}
 	if st.Admitted > 0 {
-		fmt.Printf("admitted %d vertices (n now %d)\n", st.Admitted, d.NumVertices())
+		free, capacity := d.Headroom()
+		fmt.Printf("admitted %d vertices (n now %d); headroom %d/%d slots occupied, %d relabeling spills\n",
+			st.Admitted, d.NumVertices(), capacity-free, capacity, st.HeadroomSpills)
 	}
 	edge, vert := d.Imbalance()
 	fmt.Printf("final Δ(n)=%d δ(n)=%d over %d partitions\n", edge, vert, *parts)

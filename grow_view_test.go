@@ -336,3 +336,151 @@ func TestIngestBatchConcurrentResolve(t *testing.T) {
 	close(done)
 	wg.Wait()
 }
+
+// TestGrowthEpochSkipsRelabel pins the O(delta) growth regression: with
+// maintenance moves disabled, every admission after the lineage's first
+// (which converts the compact ordering to a slotted one and rebuilds from
+// scratch) lands in reserved headroom, so the old→new injection is the
+// identity outside grown segments and no partition may ever take the
+// relabel (remap) path — unshifted partitions are reused outright, only
+// dirty ones rebuilt.
+func TestGrowthEpochSkipsRelabel(t *testing.T) {
+	g, updates, err := GenerateStreamOpts("powerlaw", 0.03, 1500, 13, StreamOptions{GrowFrac: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{
+		Partitions: 32, AutoGrow: true, Engine: viewTestOpts,
+		RebuildThreshold: 1 << 40, VertexRebuildThreshold: 1 << 40,
+		DisableAdaptiveThreshold: true, DisableSegmentResort: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 128
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		// Materialize the epoch's engine so the patch-vs-rebuild decision is
+		// actually exercised, not just recorded lazily.
+		if _, err := d.View().CC(GraphGrind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Stats().Admitted == 0 {
+		t.Fatal("stream admitted no vertices")
+	}
+	if _, capacity := d.Headroom(); capacity == 0 {
+		t.Fatal("lineage never became slotted")
+	}
+	work := d.ViewWork()
+	if work.EnginePatches == 0 || work.PartitionsReused == 0 {
+		t.Fatalf("growth epochs never took the patched path: %+v", work)
+	}
+	if work.PartitionsRelabeled != 0 || work.RelabeledEdges != 0 {
+		t.Fatalf("identity-outside-growth violated: %d partitions / %d edges relabeled",
+			work.PartitionsRelabeled, work.RelabeledEdges)
+	}
+}
+
+// TestViewPatchedAcrossHeadroomSpills forces headroom exhaustion mid-stream
+// (one reserved slot per partition, no proportional term) and checks that
+// patched and scratch-built views still agree on BFS, CC and BellmanFord for
+// all three framework models across the spill boundaries.
+func TestViewPatchedAcrossHeadroomSpills(t *testing.T) {
+	g, updates, err := GenerateStreamOpts("powerlaw", 0.02, 1500, 19, StreamOptions{GrowFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DynamicOptions{
+		Partitions: 16, AutoGrow: true, Engine: viewTestOpts,
+		MinHeadroom: 1, HeadroomFrac: -1,
+	}
+	scratchOpts := opts
+	scratchOpts.DisableViewReuse = true
+	dp, err := NewDynamic(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDynamic(g, scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	growthEpochs := 0
+	n := g.NumVertices()
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		rp, err := dp.ApplyBatch(updates[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if rp.Admitted > 0 {
+			growthEpochs++
+		}
+		vp, vs := dp.View(), ds.View()
+		root := VertexID(int(updates[lo].Dst) % n)
+		for _, sys := range []System{Ligra, Polymer, GraphGrind} {
+			cp, err := vp.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := vs.CC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cp {
+				if cp[i] != cs[i] {
+					t.Fatalf("epoch %d %v: patched CC diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, cp[i], cs[i])
+				}
+			}
+			bp, err := vp.BellmanFord(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, err := vs.BellmanFord(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range bp {
+				if bp[i] != bs[i] {
+					t.Fatalf("epoch %d %v: patched BellmanFord diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, bp[i], bs[i])
+				}
+			}
+			pp, err := vp.BFS(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := vs.BFS(sys, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, ls := bfsLevels(t, pp, root), bfsLevels(t, ps, root)
+			for i := range lp {
+				if lp[i] != ls[i] {
+					t.Fatalf("epoch %d %v: patched BFS level diverges at %d: %d vs %d",
+						vp.Epoch(), sys, i, lp[i], ls[i])
+				}
+			}
+		}
+	}
+	if growthEpochs < 3 {
+		t.Fatalf("only %d growth epochs; the property was not exercised", growthEpochs)
+	}
+	if st := dp.Stats(); st.HeadroomSpills == 0 {
+		t.Fatalf("minimal headroom never spilled (admitted %d): %+v", st.Admitted, st)
+	}
+}

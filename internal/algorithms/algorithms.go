@@ -31,13 +31,23 @@ const damping = 0.85
 // PageRank runs the power method for iters iterations and returns the rank
 // vector. Matches the paper's PR configuration (10 iterations).
 func PageRank(e engine.Engine, iters int) []float64 {
+	return PageRankN(e, iters, e.Graph().NumVertices())
+}
+
+// PageRankN is PageRank with the true vertex count nReal made explicit for
+// engines whose ID space is larger than the graph — slotted VEBO orderings
+// reserve headroom positions that exist as empty rows. The 1/n terms use
+// nReal; the empty rows accumulate only their own base term (they have no
+// out-edges, so they never contribute rank), and callers projecting results
+// back to real vertex IDs drop them.
+func PageRankN(e engine.Engine, iters, nReal int) []float64 {
 	g := e.Graph()
 	n := g.NumVertices()
 	rank := make([]float64, n)
 	contrib := make([]float64, n)
 	acc := make([]uint64, n) // float64 bits, atomically accumulated in push
 	for v := 0; v < n; v++ {
-		rank[v] = 1.0 / float64(n)
+		rank[v] = 1.0 / float64(nReal)
 	}
 	kernel := engine.EdgeKernel{
 		Update: func(s, d graph.VertexID, _ int32) bool {
@@ -61,7 +71,7 @@ func PageRank(e engine.Engine, iters int) []float64 {
 		}
 		e.EdgeMap(all, kernel)
 		e.VertexMap(all, func(v graph.VertexID) bool {
-			rank[v] = (1-damping)/float64(n) + damping*atomicf.F64From(acc[v])
+			rank[v] = (1-damping)/float64(nReal) + damping*atomicf.F64From(acc[v])
 			return false
 		})
 	}
@@ -72,6 +82,12 @@ func PageRank(e engine.Engine, iters int) []float64 {
 // rank changed by more than eps times their accumulated rank stay in the
 // frontier. Returns the rank vector. This is the paper's PRD.
 func PageRankDelta(e engine.Engine, iters int, eps float64) []float64 {
+	return PageRankDeltaN(e, iters, eps, e.Graph().NumVertices())
+}
+
+// PageRankDeltaN is PageRankDelta with the true vertex count nReal made
+// explicit; see PageRankN for the slotted-ordering contract.
+func PageRankDeltaN(e engine.Engine, iters int, eps float64, nReal int) []float64 {
 	g := e.Graph()
 	n := g.NumVertices()
 	if n == 0 {
@@ -85,7 +101,7 @@ func PageRankDelta(e engine.Engine, iters int, eps float64) []float64 {
 	contrib := make([]float64, n)
 	acc := make([]uint64, n)
 	for v := 0; v < n; v++ {
-		delta[v] = (1 - damping) / float64(n)
+		delta[v] = (1 - damping) / float64(nReal)
 		rank[v] = delta[v]
 	}
 	kernel := engine.EdgeKernel{

@@ -142,15 +142,18 @@ func BellmanFordResume(e engine.Engine, dist []int64, f *frontier.Frontier) []in
 // RankDelta describes the perturbation between a converged basis PageRank
 // vector and the queried epoch's graph, in the queried engine's vertex
 // space: the edge changes (multiplicities unrolled), the prior out-degree of
-// every source whose out-edge set changed, the basis epoch's vertex count
-// (for the (1-damping)/n base-term shift) and the engine positions of the
-// vertices admitted since the basis (which seed with rank 0 and take the
+// every source whose out-edge set changed, the basis and current real vertex
+// counts (for the (1-damping)/n base-term shift) and the engine positions of
+// the vertices admitted since the basis (which seed with rank 0 and take the
 // full new base term — engine orderings scatter them, so they are a list,
-// not an index range). len(Grown) must equal n − NOld.
+// not an index range). len(Grown) must equal NNew − NOld. NNew is the real
+// vertex count, which on slotted engines is smaller than the engine's ID
+// space (reserved headroom rows are not vertices); NNew == 0 means the
+// engine is compact and g.NumVertices() is the count.
 type RankDelta struct {
 	Adds, Dels []graph.Edge
 	OldOutDeg  map[graph.VertexID]int64
-	NOld       int
+	NOld, NNew int
 	Grown      []graph.VertexID
 }
 
@@ -183,13 +186,20 @@ func PageRankResume(e engine.Engine, rank []float64, d RankDelta, iters int, eps
 	// Base-term change: (1-damping)/n_new for every vertex minus
 	// (1-damping)/n_old for the ones that existed at the basis. Zero unless
 	// the vertex space grew, in which case every vertex takes a (tiny)
-	// initial delta and the first round runs dense.
-	if d.NOld != n {
+	// initial delta and the first round runs dense. The divisors use the real
+	// vertex counts, not the engine's ID-space size — on slotted engines the
+	// headroom rows swept here are inert (no out-edges, dropped on
+	// projection back to real IDs).
+	nNew := d.NNew
+	if nNew == 0 {
+		nNew = n
+	}
+	if d.NOld != nNew {
 		grown := make([]bool, n)
 		for _, v := range d.Grown {
 			grown[v] = true
 		}
-		bNew := (1 - damping) / float64(n)
+		bNew := (1 - damping) / float64(nNew)
 		bOld := (1 - damping) / float64(d.NOld)
 		for v := 0; v < n; v++ {
 			if grown[v] {

@@ -28,12 +28,14 @@ const growFrac = 0.015
 // regime the growable vertex space exists for. A powerlaw churn stream with
 // a growth knob is replayed batch by batch; after every batch the freshly
 // published view builds all three framework engines, patched from the
-// previous epoch's (segment shifts applied structurally, grown partitions
-// rebuilt, the rest remapped or shared) or rebuilt from scratch
-// (DisableViewReuse). The work ratio compares rebuild-from-scratch
-// construction work against the patched runs'; in Quick mode a maintained
-// ratio ≤ 1× — patching no longer paying for itself under growth — is an
-// error.
+// previous epoch's (admissions land in reserved headroom slots, so grown
+// partitions rebuild and every other partition is shared outright) or
+// rebuilt from scratch (DisableViewReuse). The work ratio compares
+// rebuild-from-scratch construction work against the patched runs'; in
+// Quick mode a maintained ratio ≤ 2× — growth epochs falling back to
+// linear remaps — is an error, as is any relabeled edge in the
+// frozen-placement row, where the identity-outside-growth injection must
+// make remap work exactly zero.
 func Grow(cfg Config) error {
 	cfg = cfg.WithDefaults()
 	w := cfg.Out
@@ -42,7 +44,9 @@ func Grow(cfg Config) error {
 		ops = 4 * growBatch
 	}
 	if cfg.Quick {
-		ops = 6 * growBatch
+		// Long enough to amortize the maintained row's warm-up re-sorts;
+		// shorter streams under-report its steady-state work ratio.
+		ops = 24 * growBatch
 	}
 	g, updates, err := gen.StreamFromRecipeOpts("powerlaw", cfg.Scale, ops, cfg.Seed,
 		gen.RecipeStreamOptions{GrowFrac: growFrac})
@@ -167,13 +171,18 @@ func Grow(cfg Config) error {
 	rebuildWork := constructionWork(rows[1])
 	ratio := float64(rebuildWork) / float64(constructionWork(rows[0]))
 	maintainedRatio := float64(rebuildWork) / float64(constructionWork(rows[2]))
-	// Growth epochs shift most segments, so even the frozen-placement row
-	// pays a linear relabel per grown epoch — the bar is staying ahead of
-	// rebuilding, not the pure-churn experiment's 2×.
+	// Headroom slots make a growth epoch's injection the identity outside
+	// the grown segments: the frozen-placement row must do zero remap work
+	// (every relabeled edge would be a fallback to the pre-headroom linear
+	// shift), and the bar for the maintained row matches the pure-churn
+	// experiment's 2×.
+	patchedRelabeled := rows[0].work.RelabeledEdges
 	fmt.Fprintf(w, "work ratio (rebuild/patched construction edges): %.1f× (target > 1×: %v)\n",
 		ratio, ratio > 1)
-	fmt.Fprintf(w, "work ratio (rebuild/maintained construction edges): %.1f× (target > 1×: %v)\n",
-		maintainedRatio, maintainedRatio > 1)
+	fmt.Fprintf(w, "work ratio (rebuild/maintained construction edges): %.1f× (target > 2×: %v)\n",
+		maintainedRatio, maintainedRatio > 2)
+	fmt.Fprintf(w, "O(delta) growth: %d relabeled edges in the frozen-placement row (target 0: %v)\n",
+		patchedRelabeled, patchedRelabeled == 0)
 	fmt.Fprintf(w, "wall ratio (rebuild/patched elapsed): %.1f×\n\n",
 		rows[1].elapsed.Seconds()/rows[0].elapsed.Seconds())
 	if err := writeReport(cfg, Report{
@@ -182,7 +191,8 @@ func Grow(cfg Config) error {
 		// Gates mirror exactly the checks Quick mode enforces in-process.
 		Gates: []Gate{
 			{Name: "grow_batch_frac", Value: growBatchFrac, Threshold: 0.10, Pass: growBatchFrac >= 0.10},
-			{Name: "work_ratio_maintained", Value: maintainedRatio, Threshold: 1, Pass: maintainedRatio > 1},
+			{Name: "work_ratio_maintained", Value: maintainedRatio, Threshold: 2, Pass: maintainedRatio > 2},
+			{Name: "odelta_relabeled_edges_patched", Value: float64(patchedRelabeled), Threshold: 0, Pass: patchedRelabeled == 0},
 		},
 		Modeled: map[string]float64{
 			"work_ratio_patched":            ratio,
@@ -197,8 +207,11 @@ func Grow(cfg Config) error {
 		if growBatchFrac < 0.10 {
 			return fmt.Errorf("grow: only %.0f%% of batches introduce vertices — the stream no longer exercises growth", 100*growBatchFrac)
 		}
-		if maintainedRatio <= 1 {
-			return fmt.Errorf("grow: maintained-row work ratio %.2f× regressed to <= 1× — views stopped patching on a vertex-arrival stream", maintainedRatio)
+		if maintainedRatio <= 2 {
+			return fmt.Errorf("grow: maintained-row work ratio %.2f× regressed to <= 2× — growth epochs are paying linear remaps again", maintainedRatio)
+		}
+		if patchedRelabeled != 0 {
+			return fmt.Errorf("grow: frozen-placement row relabeled %d edges — growth injections are no longer the identity outside grown segments", patchedRelabeled)
 		}
 	}
 	return nil

@@ -61,6 +61,13 @@ type Result struct {
 	// EdgeCounts[p] is the number of in-edges assigned to partition p (the
 	// paper's w[p]).
 	EdgeCounts []int64
+	// SlotCounts[p], when non-nil, is the slot capacity of partition p in
+	// the new ID space — VertexCounts[p] occupied positions followed by
+	// reserved headroom for future admissions (see internal/dynamic). Nil
+	// means the ordering is compact: every new ID in [0, n) is occupied and
+	// Perm is a permutation. When set, Perm is an injection into
+	// [0, Slots()) and unmapped new IDs are empty (zero-degree) rows.
+	SlotCounts []int64
 }
 
 // EdgeImbalance returns Δ(n) = max_p EdgeCounts − min_p EdgeCounts.
@@ -105,13 +112,36 @@ func CoarsenBounds(fine []int64, p int) []int64 {
 }
 
 // Boundaries returns the partition end points in the new ID space:
-// partition p owns new IDs [bounds[p], bounds[p+1]). len = P+1.
+// partition p owns new IDs [bounds[p], bounds[p+1]). len = P+1. For slotted
+// orderings the boundaries span the slot space (occupied prefix plus
+// reserved headroom), so engines built over them cover every admissible ID.
 func (r *Result) Boundaries() []int64 {
+	counts := r.VertexCounts
+	if r.SlotCounts != nil {
+		counts = r.SlotCounts
+	}
 	b := make([]int64, r.P+1)
 	for p := 0; p < r.P; p++ {
-		b[p+1] = b[p] + r.VertexCounts[p]
+		b[p+1] = b[p] + counts[p]
 	}
 	return b
+}
+
+// Slots returns the size of the new ID space: the total slot capacity for
+// slotted orderings, or the vertex count for compact ones.
+func (r *Result) Slots() int64 {
+	if r.SlotCounts == nil {
+		var n int64
+		for _, c := range r.VertexCounts {
+			n += c
+		}
+		return n
+	}
+	var n int64
+	for _, c := range r.SlotCounts {
+		n += c
+	}
+	return n
 }
 
 // Reorder computes a VEBO ordering of g into p partitions, balancing the
@@ -203,8 +233,12 @@ func ReorderDegrees(degrees []int64, p int, opts Options) (*Result, error) {
 }
 
 // Apply relabels g with the ordering's permutation, returning the reordered
-// (isomorphic) graph.
+// (isomorphic) graph. For slotted orderings the result spans the slot space:
+// reserved headroom positions become empty rows.
 func Apply(g *graph.Graph, r *Result) (*graph.Graph, error) {
+	if slots := r.Slots(); int(slots) > g.NumVertices() {
+		return g.RelabelInto(int(slots), r.Perm)
+	}
 	return g.Relabel(r.Perm)
 }
 

@@ -39,11 +39,14 @@
 //
 //   - A growable vertex space. Grow (and AutoGrow, for dense-ID streams;
 //     see Allocator for sparse external IDs) admits zero-degree vertices to
-//     the least-vertex partitions, extending each partition's segment at
-//     its tail: internal IDs are append-only, the cached ordering is
-//     updated copy-on-write with every later segment shifted up, and the
-//     numbering lineage (RenumEpoch) is preserved, so engine-side patching
-//     survives growth.
+//     the least-vertex partitions, filling reserved headroom slots at each
+//     partition segment's tail: internal IDs are append-only, the cached
+//     ordering is extended in place (the first admission in a lineage
+//     converts it to slotted form with amortized per-segment headroom), and
+//     the numbering lineage (RenumEpoch) is preserved with an identity
+//     injection on the pre-existing vertices, so engine-side patching
+//     across growth epochs is O(delta). Exhausted headroom spills to a
+//     relabeling epoch that reserves fresh slots everywhere.
 //
 //   - View-delta tracking. Between drains (one per published facade view)
 //     the subsystem records the net resolved edge changes, the set of
@@ -62,6 +65,7 @@ package dynamic
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -135,6 +139,20 @@ type Config struct {
 	// batches whose repairs or admissions disturbed it (RepairPreserve
 	// only). Exists for the locality-decay ablation.
 	DisableSegmentResort bool
+	// MinHeadroom is the minimum number of reserved admission slots per
+	// partition segment in a slotted ordering (default 4). Once the vertex
+	// space starts growing, every full ordering sort reserves
+	// max(MinHeadroom, HeadroomFrac·occupied) free slots at each segment's
+	// tail so admissions land in pre-allocated positions instead of
+	// shifting later segments; see Grow.
+	MinHeadroom int64
+	// HeadroomFrac is the fraction of a segment's occupied length reserved
+	// as admission headroom on top of MinHeadroom's floor (default 0.125,
+	// vector-doubling-style amortization: the reservation cost is paid once
+	// per relabeling epoch and covers proportionally many admissions).
+	// Negative disables the proportional term, leaving MinHeadroom alone —
+	// the knob spill tests use to force headroom exhaustion quickly.
+	HeadroomFrac float64
 	// Metrics, when set, receives the subsystem's counters, gauges and
 	// latency histograms (the vebo_* series; see DESIGN.md §6). Nil disables
 	// metric collection at zero cost: the handles degrade to no-ops.
@@ -154,6 +172,13 @@ const DefaultPartitions = 64
 // DefaultVertexThreshold is the default δ(n) maintenance threshold.
 const DefaultVertexThreshold = 4
 
+// DefaultMinHeadroom and DefaultHeadroomFrac are the default per-segment
+// admission headroom parameters; see Config.MinHeadroom.
+const (
+	DefaultMinHeadroom  = 4
+	DefaultHeadroomFrac = 0.125
+)
+
 func (c Config) withDefaults() Config {
 	if c.Partitions == 0 {
 		c.Partitions = DefaultPartitions
@@ -164,7 +189,23 @@ func (c Config) withDefaults() Config {
 	if c.VertexRebuildThreshold == 0 {
 		c.VertexRebuildThreshold = DefaultVertexThreshold
 	}
+	if c.MinHeadroom == 0 {
+		c.MinHeadroom = DefaultMinHeadroom
+	}
+	if c.HeadroomFrac == 0 {
+		c.HeadroomFrac = DefaultHeadroomFrac
+	}
 	return c
+}
+
+// headroom returns the number of reserved tail slots for a segment holding
+// occ vertices: max(MinHeadroom, HeadroomFrac·occ).
+func (c Config) headroom(occ int64) int64 {
+	h := int64(float64(occ) * c.HeadroomFrac)
+	if h < c.MinHeadroom {
+		h = c.MinHeadroom
+	}
+	return h
 }
 
 // compactBound is the current delta-log size triggering compaction.
@@ -214,6 +255,10 @@ type Stats struct {
 	// Admitted is the number of vertices added to the graph after
 	// construction (Grow and AutoGrow admissions).
 	Admitted int64
+	// HeadroomSpills is the number of times an admission found every
+	// partition's reserved headroom exhausted and forced a relabeling epoch
+	// (which reserves fresh headroom everywhere); see Grow.
+	HeadroomSpills int64
 	// Resorts is the number of background segment re-sort passes that moved
 	// at least one vertex; ResortedVertices counts the moved vertices.
 	Resorts          int64
@@ -308,6 +353,18 @@ type Graph struct {
 	ordPartOf  []uint32
 	ordPlace   int64
 
+	// segCap[q] is partition q's slot capacity in the cached slotted
+	// ordering — the occupied prefix plus reserved admission headroom — and
+	// slotBase (len P+1) its cumulative boundaries: partition q owns new
+	// IDs [slotBase[q], slotBase[q+1]), of which [slotBase[q],
+	// slotBase[q]+partVerts[q]) are occupied. Both are nil while the
+	// ordering is compact. growing flips on the first Grow and stays set:
+	// from then on every full ordering sort reserves headroom, so workloads
+	// that never grow keep exact compact permutations.
+	segCap   []int64
+	slotBase []int64
+	growing  bool
+
 	// adaptGran caches the repair granularity estimate (a low quantile of
 	// the nonzero in-degrees); adaptNext is the Updates count at which it is
 	// recomputed.
@@ -323,10 +380,12 @@ type Graph struct {
 	members [][]graph.VertexID
 
 	// resortNext is the round-robin cursor of the background segment
-	// re-sort; resortPending records that admissions landed since the last
-	// re-sort opportunity (Grow may run outside a batch — the facade's
-	// external ingest admits before applying — so the batch result alone
-	// cannot see them).
+	// re-sort; resortPending records an out-of-band disturbance of the
+	// intra-segment order since the last re-sort opportunity. Headroom
+	// admissions do not set it — they append in degree-sorted position —
+	// so today only the swap/rotation counters trigger re-sorts, but the
+	// flag stays as the hook for any future order-decaying path that runs
+	// outside a batch.
 	resortNext    int
 	resortPending bool
 
@@ -373,7 +432,7 @@ func New(g *graph.Graph, cfg Config) (*Graph, error) {
 	copy(d.assign, r.PartitionOf)
 	d.stats.Placements = int64(d.n)
 	d.snapCache, d.snapEpoch = g, 0
-	d.m = newDynMetrics(cfg.Metrics)
+	d.m = newDynMetrics(cfg.Metrics, cfg.Partitions)
 	d.tr = cfg.Tracer
 	d.tr.Emit(obs.Event{Kind: "graph", Cause: "build", N: map[string]int64{
 		"vertices": int64(d.n), "edges": d.liveEdges, "partitions": int64(cfg.Partitions)}})
@@ -508,11 +567,12 @@ func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
 	start := time.Now()
 	var res BatchResult
 	if d.cfg.AutoGrow {
-		// Admit for the whole batch up front: Grow copies the cached
-		// ordering (O(n)), so one call must cover every arrival in the
-		// batch rather than paying the copy per out-of-range update. The
-		// admissions stand even if a later update aborts the batch, like
-		// any update applied before the failure.
+		// Admit for the whole batch up front: one Grow call claims headroom
+		// slots for every arrival in the batch (batched per-partition
+		// admission, one trace event and one gauge sync per batch instead of
+		// per out-of-range update). The admissions stand even if a later
+		// update aborts the batch, like any update applied before the
+		// failure.
 		mx := d.n - 1
 		for _, u := range updates {
 			if u.Del {
@@ -667,9 +727,11 @@ func (d *Graph) finishBatch(res BatchResult, start time.Time) BatchResult {
 				}})
 		}
 	}
-	// Swaps, rotations and tail-appended admissions all decay the
-	// degree-descending order inside segments; re-sort one segment per
-	// disturbing batch. A rebuild just re-established the order everywhere.
+	// Swaps and rotations decay the degree-descending order inside
+	// segments (a moved vertex parks at its partner's old position);
+	// re-sort one segment per disturbing batch. Headroom admissions are
+	// not disturbances — they append in sorted position. A rebuild just
+	// re-established the order everywhere.
 	if !res.Rebuilt && d.cfg.Repair == RepairPreserve && !d.cfg.DisableSegmentResort &&
 		(d.resortPending || d.stats.Swaps+d.stats.Rotations > preMoves) {
 		d.resortSegment()
@@ -696,65 +758,59 @@ func (d *Graph) finishBatch(res BatchResult, start time.Time) BatchResult {
 
 // Grow admits count new zero-degree vertices, returning the first new
 // internal ID (they are assigned densely: first, first+1, …). Each admitted
-// vertex goes to the partition currently holding the fewest vertices —
-// Algorithm 1's least-loaded-bin rule applied incrementally, the same rule
-// phase 2 uses for zero-degree vertices — and extends that partition's
-// segment at its tail: the cached ordering is updated copy-on-write with
-// every later segment shifted up by the insertions before it, so the old
-// epoch's ordering maps into the new one by a per-partition shift (plus the
-// identity inside segments), which is what keeps engine-side structures
-// patchable across growth epochs. The per-partition admission counts are
-// accumulated into the view delta's growth vector.
+// vertex goes to the partition holding the fewest vertices among those with
+// free headroom — Algorithm 1's least-loaded-bin rule applied incrementally,
+// the same rule phase 2 uses for zero-degree vertices — and fills the next
+// reserved slot at that partition's segment tail. The first Grow in a
+// numbering lineage converts the cached ordering to slotted form (a
+// relabeling epoch that reserves max(MinHeadroom, HeadroomFrac·occupied)
+// free slots at every segment tail; see Config); after that, admissions
+// extend the ordering in place — no copy, no shift of later segments — so
+// pre-existing vertices keep their exact new IDs, the old→new injection
+// across a growth epoch is the identity, and engine-side patching is
+// O(delta). Only when every partition's headroom is exhausted does Grow
+// spill to another relabeling epoch (Stats.HeadroomSpills,
+// vebo_headroom_spill_total), which reserves fresh headroom everywhere —
+// amortized O(1) per admission, vector-doubling style. The per-partition
+// admission counts are accumulated into the view delta's growth vector.
 func (d *Graph) Grow(count int) graph.VertexID {
 	first := graph.VertexID(d.n)
 	if count <= 0 {
 		return first
 	}
 	gstart := time.Now()
+	d.growing = true
 	d.ensureOrdering()
-	p := d.cfg.Partitions
-	// Old segment boundaries in the new-ID space, derived from the
-	// per-partition vertex counts the ordering was built with.
-	bounds := make([]int64, p+1)
-	for q := 0; q < p; q++ {
-		bounds[q+1] = bounds[q] + d.partVerts[q]
+	if d.segCap == nil {
+		// First growth in this lineage: the cached ordering predates growing
+		// and has no reserved slots. Relabel into slotted form.
+		d.spillRelabel()
 	}
+	p := d.cfg.Partitions
 	grow := make([]int64, p)
-	assigned := make([]uint32, count)
+	spills := int64(0)
 	for i := 0; i < count; i++ {
-		q := argMin2(d.partVerts, d.partEdges)
-		assigned[i] = uint32(q)
+		q := d.admitTarget()
+		if q < 0 {
+			d.spillRelabel()
+			spills++
+			q = d.admitTarget()
+		}
+		// The admission occupies the next free slot of q's segment: appends
+		// only, never a rewrite of an occupied position, so readers sharing
+		// the published slices (bounded by their own lengths) are unaffected.
+		slot := graph.VertexID(d.slotBase[q] + d.partVerts[q])
+		d.ordPerm = append(d.ordPerm, slot)
+		d.ordPartOf = append(d.ordPartOf, uint32(q))
+		d.assign = append(d.assign, uint32(q))
+		d.degIn = append(d.degIn, 0)
+		if d.members != nil {
+			d.members[q] = append(d.members[q], graph.VertexID(d.n))
+		}
 		d.partVerts[q]++
 		grow[q]++
+		d.n++
 	}
-	// shift[q] = number of slots inserted before partition q's segment.
-	shift := make([]int64, p)
-	var cum int64
-	for q := 0; q < p; q++ {
-		shift[q] = cum
-		cum += grow[q]
-	}
-	perm := make([]graph.VertexID, d.n+count)
-	partOf := make([]uint32, d.n+count)
-	copy(partOf, d.ordPartOf)
-	copy(partOf[d.n:], assigned)
-	for v := 0; v < d.n; v++ {
-		perm[v] = d.ordPerm[v] + graph.VertexID(shift[d.ordPartOf[v]])
-	}
-	next := make([]int64, p)
-	for i, q := range assigned {
-		perm[d.n+i] = graph.VertexID(bounds[q+1] + shift[q] + next[q])
-		next[q]++
-	}
-	d.ordPerm, d.ordPartOf = perm, partOf
-	d.assign = append(d.assign, assigned...)
-	d.degIn = append(d.degIn, make([]int64, count)...)
-	if d.members != nil {
-		for i, q := range assigned {
-			d.members[q] = append(d.members[q], graph.VertexID(d.n+i))
-		}
-	}
-	d.n += count
 	d.placeEpoch++
 	d.ordPlace = d.placeEpoch
 	if d.viewGrow == nil {
@@ -765,30 +821,83 @@ func (d *Graph) Grow(count int) graph.VertexID {
 	}
 	d.stats.Admitted += int64(count)
 	d.stats.Placements += int64(count)
-	d.resortPending = true
+	// No resortPending: a headroom admission appends a zero-degree vertex
+	// with the largest ID at its segment's occupied tail, which is exactly
+	// where the degree-descending (ID-ascending on ties) order wants it —
+	// admissions no longer decay the layout the background re-sort repairs.
 	d.touch()
-	// An admission "spills" when some partition that already held vertices
-	// has slots inserted before its segment — its residents' new IDs all
-	// shift, the COW ordering copy is the price. Pure tail appends (all
-	// admissions landing after every populated segment) leave old IDs intact.
-	spilled := false
-	for q := 0; q < p; q++ {
-		if shift[q] > 0 && d.partVerts[q]-grow[q] > 0 {
-			spilled = true
-			break
-		}
-	}
-	cause := "tail-append"
-	if spilled {
+	cause := "growth-headroom"
+	if spills > 0 {
 		cause = "growth-spill"
-		d.m.growthSpills.Inc()
 	}
+	free, _ := d.Headroom()
 	d.m.admitted.Add(int64(count))
 	d.m.growNS.ObserveSince(gstart)
 	d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "grow", Cause: cause, Dur: time.Since(gstart),
-		N: map[string]int64{"admitted": int64(count), "vertices": int64(d.n), "shifted_slots": cum}})
+		N: map[string]int64{"admitted": int64(count), "vertices": int64(d.n),
+			"spills": spills, "headroom_free": free}})
 	d.syncGauges()
 	return first
+}
+
+// admitTarget returns the partition the next admission should fill: the
+// fewest-vertices partition among those with free headroom, ties broken by
+// edge load. Returns -1 when every partition's headroom is exhausted (or the
+// ordering is not slotted yet).
+func (d *Graph) admitTarget() int {
+	if d.segCap == nil {
+		return -1
+	}
+	best := -1
+	for q := range d.partVerts {
+		if d.partVerts[q] >= d.segCap[q] {
+			continue
+		}
+		if best < 0 || d.partVerts[q] < d.partVerts[best] ||
+			(d.partVerts[q] == d.partVerts[best] && d.partEdges[q] < d.partEdges[best]) {
+			best = q
+		}
+	}
+	return best
+}
+
+// spillRelabel converts the ordering to freshly slotted form through a
+// relabeling epoch: the numbering lineage breaks (placementChanged), and the
+// rebuilt ordering reserves headroom at every segment tail, guaranteeing
+// admitTarget succeeds. Called on the first growth of a lineage and on
+// headroom exhaustion; only the latter counts as a spill.
+func (d *Graph) spillRelabel() {
+	if d.segCap != nil {
+		d.stats.HeadroomSpills++
+		d.m.headroomSpills.Inc()
+	}
+	d.placementChanged()
+	d.ensureOrdering()
+}
+
+// Headroom reports the admission headroom of the cached slotted ordering:
+// free reserved slots and total slot capacity, summed over partitions. Both
+// are zero while the ordering is compact (no Grow yet) or stale (a
+// renumbering is pending and the next ensureOrdering re-reserves).
+func (d *Graph) Headroom() (free, capacity int64) {
+	if d.segCap == nil || d.ordPlace != d.placeEpoch {
+		return 0, 0
+	}
+	for q, c := range d.segCap {
+		capacity += c
+		free += c - d.partVerts[q]
+	}
+	return free, capacity
+}
+
+// SlotCounts returns a copy of the per-partition slot capacities of the
+// cached slotted ordering (occupied plus reserved headroom), or nil while
+// the ordering is compact.
+func (d *Graph) SlotCounts() []int64 {
+	if d.segCap == nil {
+		return nil
+	}
+	return append([]int64(nil), d.segCap...)
 }
 
 // b2i renders a bool as a trace count.
@@ -1639,9 +1748,14 @@ func (d *Graph) Compact() {
 
 // ensureOrdering makes the cached permutation current. The full
 // (partition, degree desc, ID) sort runs only when the numbering lineage
-// broke (initial call, full rebuild, replace-mode repair); swap repairs
-// update the cached permutation copy-on-write themselves, so between
-// renumbering events the new IDs of unmoved vertices never change.
+// broke (initial call, full rebuild, replace-mode repair, headroom spill);
+// swap repairs update the cached permutation copy-on-write themselves, and
+// Grow extends it in place, so between renumbering events the new IDs of
+// unmoved vertices never change. Once the vertex space has started growing,
+// the sort produces a slotted ordering: each partition's segment is followed
+// by reserved headroom slots (Config.headroom) that future admissions fill
+// without renumbering anything; before the first Grow the ordering stays
+// compact, so non-growing workloads see exact permutations.
 func (d *Graph) ensureOrdering() {
 	if d.ordPerm != nil && d.ordPlace == d.placeEpoch {
 		return
@@ -1661,8 +1775,28 @@ func (d *Graph) ensureOrdering() {
 		return a < b
 	})
 	perm := make([]graph.VertexID, d.n)
-	for newID, v := range order {
-		perm[v] = graph.VertexID(newID)
+	if d.growing {
+		p := d.cfg.Partitions
+		d.segCap = make([]int64, p)
+		d.slotBase = make([]int64, p+1)
+		for q := 0; q < p; q++ {
+			d.segCap[q] = d.partVerts[q] + d.cfg.headroom(d.partVerts[q])
+			d.slotBase[q+1] = d.slotBase[q] + d.segCap[q]
+		}
+		next := append([]int64(nil), d.slotBase[:p]...)
+		// order is sorted by partition first, so assigning sequentially from
+		// each partition's slot base keeps the occupied positions a
+		// contiguous prefix of every segment.
+		for _, v := range order {
+			q := d.assign[v]
+			perm[v] = graph.VertexID(next[q])
+			next[q]++
+		}
+	} else {
+		d.segCap, d.slotBase = nil, nil
+		for newID, v := range order {
+			perm[v] = graph.VertexID(newID)
+		}
 	}
 	d.ordPerm = perm
 	d.ordPartOf = append([]uint32(nil), d.assign...)
@@ -1677,9 +1811,12 @@ func (d *Graph) ensureOrdering() {
 // repair); swap repairs permute it copy-on-write at exactly the swapped
 // positions, and degree-only epochs keep the exact numbering — which is
 // what lets engine-side structures of unchanged partitions be reused —
-// while the returned per-partition counts are always current. The Perm and
-// PartitionOf slices are shared and immutable; callers must not modify
-// them.
+// while the returned per-partition counts are always current. Once the
+// vertex space has grown, the result is slotted (SlotCounts non-nil): each
+// segment carries reserved headroom slots after its occupied prefix, the
+// permutation is an injection into the slot space, and admissions fill
+// slots without renumbering anyone. The Perm and PartitionOf slices are
+// shared and immutable; callers must not modify them.
 func (d *Graph) Ordering() *core.Result {
 	d.ensureOrdering()
 	return &core.Result{
@@ -1688,6 +1825,7 @@ func (d *Graph) Ordering() *core.Result {
 		PartitionOf:  d.ordPartOf,
 		VertexCounts: d.VertexCounts(),
 		EdgeCounts:   d.EdgeCounts(),
+		SlotCounts:   d.SlotCounts(),
 	}
 }
 
@@ -1713,10 +1851,14 @@ type ViewDelta struct {
 	// repairs set Moved instead.
 	PlacementChanged bool
 	// Grown is the per-partition count of vertices admitted since the last
-	// drain (nil when none): partition p's segment grew by Grown[p] slots
-	// at its tail, shifting every later segment up by the running sum.
-	// Internal IDs are append-only, so the admitted vertices are exactly
-	// the IDs in [n − GrownTotal(), n) of the drained epoch's space.
+	// drain (nil when none): partition p absorbed Grown[p] admissions into
+	// its reserved headroom slots, leaving every pre-existing vertex's new
+	// ID unchanged — the cross-epoch injection is the identity on the old
+	// vertices. Internal IDs are append-only, so the admitted vertices are
+	// exactly the IDs in [n − GrownTotal(), n) of the drained epoch's
+	// space; their new IDs are scattered per-partition tail slots, not a
+	// contiguous range. A spill (headroom exhaustion) renumbers instead and
+	// sets PlacementChanged.
 	Grown []int64
 	// Updates counts the net edge changes covered by this delta.
 	Updates int64
@@ -1853,7 +1995,7 @@ type dynMetrics struct {
 	rebuildRotStall, rebuildVertex       *obs.Counter
 	rebuildShortfall, rebuildForced      *obs.Counter
 	resorts, compactions                 *obs.Counter
-	admitted, growthSpills               *obs.Counter
+	admitted, headroomSpills             *obs.Counter
 
 	batchNS, repairNS, rebuildNS *obs.Histogram
 	growNS, compactNS            *obs.Histogram
@@ -1861,9 +2003,16 @@ type dynMetrics struct {
 	epoch, vertices, liveEdges  *obs.Gauge
 	edgeImb, vertImb, effThresh *obs.Gauge
 	pendingOps                  *obs.Gauge
+	// headroomSlots[q] tracks partition q's free reserved admission slots
+	// (vebo_headroom_slots{partition=q}); zero while the ordering is compact.
+	headroomSlots []*obs.Gauge
 }
 
-func newDynMetrics(r *obs.Registry) dynMetrics {
+func newDynMetrics(r *obs.Registry, p int) dynMetrics {
+	slots := make([]*obs.Gauge, p)
+	for q := range slots {
+		slots[q] = r.Gauge("vebo_headroom_slots", "partition", strconv.Itoa(q))
+	}
 	return dynMetrics{
 		batches:          r.Counter("vebo_batches_total"),
 		inserts:          r.Counter("vebo_updates_total", "op", "insert"),
@@ -1881,7 +2030,7 @@ func newDynMetrics(r *obs.Registry) dynMetrics {
 		resorts:          r.Counter("vebo_resorts_total"),
 		compactions:      r.Counter("vebo_compactions_total"),
 		admitted:         r.Counter("vebo_admitted_total"),
-		growthSpills:     r.Counter("vebo_growth_spills_total"),
+		headroomSpills:   r.Counter("vebo_headroom_spill_total"),
 		batchNS:          r.Histogram("vebo_batch_ns"),
 		repairNS:         r.Histogram("vebo_repair_ns"),
 		rebuildNS:        r.Histogram("vebo_rebuild_ns"),
@@ -1894,6 +2043,7 @@ func newDynMetrics(r *obs.Registry) dynMetrics {
 		vertImb:          r.Gauge("vebo_vertex_imbalance"),
 		effThresh:        r.Gauge("vebo_effective_threshold"),
 		pendingOps:       r.Gauge("vebo_pending_ops"),
+		headroomSlots:    slots,
 	}
 }
 
@@ -1909,6 +2059,14 @@ func (d *Graph) syncGauges() {
 	d.m.vertImb.Set(d.VertexImbalance())
 	d.m.effThresh.Set(d.effEdgeThreshold())
 	d.m.pendingOps.Set(d.PendingOps())
+	slotted := d.segCap != nil && d.ordPlace == d.placeEpoch
+	for q, g := range d.m.headroomSlots {
+		var free int64
+		if slotted {
+			free = d.segCap[q] - d.partVerts[q]
+		}
+		g.Set(free)
+	}
 }
 
 // AddsDels expands the net delta into explicit insertion and deletion lists

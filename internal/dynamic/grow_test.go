@@ -53,8 +53,8 @@ func TestGrowAdmitsZeroDegreeLeastLoaded(t *testing.T) {
 
 // TestGrowOrderingSegmentTails checks the segment-growth policy: after
 // admissions the cached ordering is still a valid segment-contiguous
-// permutation, every partition owns a contiguous new-ID range sized by its
-// vertex count, and pinned (pre-growth) orderings are untouched (COW).
+// injection into the slot space, every partition's IDs stay inside its
+// capacity range, and pinned (pre-growth) orderings are untouched.
 func TestGrowOrderingSegmentTails(t *testing.T) {
 	g, err := gen.ErdosRenyi(300, 2500, 11)
 	if err != nil {
@@ -71,8 +71,11 @@ func TestGrowOrderingSegmentTails(t *testing.T) {
 	if len(after.Perm) != 309 {
 		t.Fatalf("ordering length %d, want 309", len(after.Perm))
 	}
-	// Valid permutation, segment-contiguous by partition.
-	seen := make([]bool, 309)
+	// Valid injection into the slot space, segment-contiguous by partition.
+	if after.Slots() < 309 {
+		t.Fatalf("slot space %d smaller than vertex count 309", after.Slots())
+	}
+	seen := make([]bool, after.Slots())
 	bounds := after.Boundaries()
 	for v, nw := range after.Perm {
 		if seen[nw] {

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"strconv"
 	"testing"
 
 	"repro/internal/graph"
@@ -176,8 +177,10 @@ func TestTraceRotationStall(t *testing.T) {
 }
 
 // TestTraceGrowthSpill pins the third required cause annotation: admissions
-// that shift later segments up (residents exist after a grown partition) are
-// annotated "growth-spill"; pure tail growth is "tail-append".
+// served entirely from reserved headroom slots are annotated
+// "growth-headroom"; a batch forced through a relabeling epoch because every
+// segment's headroom was exhausted is "growth-spill" and bumps
+// vebo_headroom_spill_total.
 func TestTraceGrowthSpill(t *testing.T) {
 	g, err := graph.FromEdges(12, []graph.Edge{
 		{Src: 0, Dst: 1, Weight: 1}, {Src: 2, Dst: 3, Weight: 1},
@@ -194,26 +197,50 @@ func TestTraceGrowthSpill(t *testing.T) {
 	if ev == nil {
 		t.Fatalf("no grow event in trace: %+v", tr.Events())
 	}
-	if ev.Cause != "growth-spill" {
-		t.Fatalf("grow cause = %q, want growth-spill (N=%+v)", ev.Cause, ev.N)
+	if ev.Cause != "growth-headroom" {
+		t.Fatalf("grow cause = %q, want growth-headroom (N=%+v)", ev.Cause, ev.N)
 	}
-	if ev.N["admitted"] != 3 || ev.N["vertices"] != 15 {
+	if ev.N["admitted"] != 3 || ev.N["vertices"] != 15 || ev.N["spills"] != 0 {
 		t.Fatalf("grow event N = %+v", ev.N)
 	}
-	if got := reg.Counter("vebo_growth_spills_total").Value(); got != 1 {
-		t.Fatalf("vebo_growth_spills_total = %d", got)
+	free, capacity := d.Headroom()
+	if capacity == 0 || ev.N["headroom_free"] != free {
+		t.Fatalf("Headroom() = (%d, %d), event free %d", free, capacity, ev.N["headroom_free"])
+	}
+	// The conversion of a compact lineage to a slotted one is not a spill.
+	if got := reg.Counter("vebo_headroom_spill_total").Value(); got != 0 {
+		t.Fatalf("vebo_headroom_spill_total = %d after headroom admissions", got)
+	}
+	// Per-partition slot gauges mirror the free headroom.
+	var gaugeFree int64
+	for p := 0; p < d.Partitions(); p++ {
+		gaugeFree += reg.Gauge("vebo_headroom_slots", "partition", strconv.Itoa(p)).Value()
+	}
+	if gaugeFree != free {
+		t.Fatalf("vebo_headroom_slots sum = %d, Headroom() free = %d", gaugeFree, free)
 	}
 
-	// P=1 growth extends the single tail segment and shifts nothing.
+	// Minimal headroom (one slot per partition, no proportional term) forces
+	// an exhaustion spill mid-batch: two admissions fill the slots, the third
+	// triggers a relabeling epoch.
 	g2, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, _, tr2 := instrumented(t, g2, Config{Partitions: 1})
-	d2.Grow(2)
+	d2, reg2, tr2 := instrumented(t, g2, Config{Partitions: 2, MinHeadroom: 1, HeadroomFrac: -1})
+	d2.Grow(3)
 	ev2 := findEvent(tr2.Events(), "grow", "")
-	if ev2 == nil || ev2.Cause != "tail-append" {
-		t.Fatalf("P=1 grow cause = %+v, want tail-append", ev2)
+	if ev2 == nil || ev2.Cause != "growth-spill" {
+		t.Fatalf("exhausted grow cause = %+v, want growth-spill", ev2)
+	}
+	if ev2.N["spills"] != 1 {
+		t.Fatalf("spill grow event N = %+v", ev2.N)
+	}
+	if got := reg2.Counter("vebo_headroom_spill_total").Value(); got != 1 {
+		t.Fatalf("vebo_headroom_spill_total = %d, want 1", got)
+	}
+	if st := d2.Stats(); st.HeadroomSpills != 1 {
+		t.Fatalf("Stats().HeadroomSpills = %d, want 1", st.HeadroomSpills)
 	}
 }
 

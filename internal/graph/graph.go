@@ -305,6 +305,38 @@ func (g *Graph) Relabel(perm []VertexID) (*Graph, error) {
 	return FromEdges(g.n, edges, g.weighted)
 }
 
+// RelabelInto relabels g into a vertex space of size nNew ≥ n through the
+// injection perm (length n, injective into [0, nNew)). New IDs with no
+// preimage become isolated vertices — empty adjacency rows. With nNew == n
+// this is exactly Relabel; larger spaces are how slotted VEBO orderings
+// (core.Result.SlotCounts) materialize reserved headroom positions.
+func (g *Graph) RelabelInto(nNew int, perm []VertexID) (*Graph, error) {
+	if nNew < g.n {
+		return nil, fmt.Errorf("graph: relabel target %d smaller than n %d", nNew, g.n)
+	}
+	if len(perm) != g.n {
+		return nil, fmt.Errorf("graph: injection length %d != n %d", len(perm), g.n)
+	}
+	seen := make([]bool, nNew)
+	for _, p := range perm {
+		if int(p) >= nNew || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not injective into [0, %d) (value %d)", nNew, p)
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < g.n; v++ {
+		for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+			edges = append(edges, Edge{
+				Src:    perm[v],
+				Dst:    perm[g.outDst[i]],
+				Weight: g.outW[i],
+			})
+		}
+	}
+	return FromEdges(nNew, edges, g.weighted)
+}
+
 // DegreeHistogramIn returns counts[d] = number of vertices with in-degree d,
 // for d in [0, MaxInDegree].
 func (g *Graph) DegreeHistogramIn() []int64 {

@@ -7,18 +7,19 @@ import (
 
 // PatchStats reports how much construction work a PatchEdges call did, in
 // edges. Merged edges go through the full per-row merge-and-sort path;
-// remapped edges are rows whose content did not change but whose stored
-// neighbor IDs (or row position) did — a linear rewrite through the
-// permutation, re-sorted only when the rewrite broke the row's order;
-// copied edges are block memcpy of untouched rows, an order of magnitude
-// cheaper per edge than building a graph from scratch (which counting-sorts
-// and scatters every edge twice).
+// remapped edges are entries whose stored neighbor ID was rewritten through
+// the permutation (the affected row is re-sorted only when the rewrite
+// broke its order); copied edges are block memcpy — untouched rows, and the
+// unchanged entries of remap-only rows, including rows that merely
+// relocated to a new index — an order of magnitude cheaper per edge than
+// building a graph from scratch (which counting-sorts and scatters every
+// edge twice).
 type PatchStats struct {
 	RowsMerged    int   // dirty CSR rows + dirty CSC rows rebuilt via merge
-	RowsRemapped  int   // rows rewritten through the permutation only
+	RowsRemapped  int   // rows with at least one entry rewritten, or relocated
 	EdgesMerged   int64 // edges written through row merges (both directions)
-	EdgesRemapped int64 // edges rewritten by remap-only rows (both directions)
-	EdgesCopied   int64 // edges block-copied from untouched rows (both directions)
+	EdgesRemapped int64 // entries rewritten through the permutation (both directions)
+	EdgesCopied   int64 // edges block-copied unchanged (both directions)
 }
 
 // PatchEdges returns a new graph equal to g with dels removed and adds
@@ -61,10 +62,15 @@ func (g *Graph) PatchEdgesPerm(adds, dels []Edge, perm []VertexID) (*Graph, Patc
 // PatchEdgesPermN is PatchEdgesPerm over a grown vertex space. The result
 // has nNew vertices; perm (length g.NumVertices()) must be injective into
 // [0, nNew), and new IDs without a preimage under perm start with empty
-// rows. This is the segment-growth contract: admitting vertices to a
-// partition extends its segment, shifting every later segment up — an
-// injective, order-preserving-by-segment map rather than a permutation —
-// and the shifted rows are remapped (linear ID rewrite), not re-merged.
+// rows. This is the segment-growth contract: admissions land in reserved
+// headroom slots at their partition segment's tail, so the injection is the
+// identity outside the grown segments — typically the identity everywhere,
+// since the pre-existing vertices keep their slots. An identity injection
+// (no vertex moved) is detected and takes the nil-perm path: no remap row
+// class at all, every untouched row block-copies, and the patch cost is
+// O(delta). Only maintenance that actually relocates vertices (swap repair,
+// segment re-sorts, spill relabeling) produces non-identity injections, and
+// those remap exactly the rows owned by or referencing a moved vertex.
 func (g *Graph) PatchEdgesPermN(nNew int, adds, dels []Edge, perm []VertexID) (*Graph, PatchStats, error) {
 	var st PatchStats
 	if nNew < g.n {
@@ -97,6 +103,12 @@ func (g *Graph) PatchEdgesPermN(nNew int, adds, dels []Edge, perm []VertexID) (*
 			if VertexID(old) != nw {
 				moved = append(moved, VertexID(old))
 			}
+		}
+		if len(moved) == 0 {
+			// Identity injection (headroom growth without relocation): inv is
+			// the identity prefix the nil-perm branch below would build, so
+			// drop perm entirely — no remap row class, clean rows block-copy.
+			perm = nil
 		}
 	} else if nNew > g.n {
 		// Identity map into a larger space: preimages are the identity
@@ -251,14 +263,22 @@ func patchSide(nOld, n int, off []int64, ids []VertexID, ws []int32,
 				st.EdgesCopied += off[u+1] - off[u]
 				continue
 			}
-			// Remap-only row: content unchanged, IDs rewritten through
+			// Remap-only row: content unchanged, stale IDs rewritten through
 			// perm. Segment shifts are monotone inside a row's neighbor
 			// list, so sortedness usually survives; re-sort only when a
-			// swapped neighbor broke it.
+			// swapped neighbor broke it. Entries whose neighbor did not move
+			// copy through unchanged — a row that merely relocated (its
+			// owner moved, its neighbors did not) is a block copy at a new
+			// index, so only the genuinely rewritten entries count as remap
+			// work.
 			sorted := true
+			var rewritten int64
 			for i := off[u]; i < off[u+1]; i++ {
 				k := i - off[u]
 				dst[k] = mapID(ids[i])
+				if dst[k] != ids[i] {
+					rewritten++
+				}
 				dw[k] = ws[i]
 				if k > 0 && (dst[k] < dst[k-1] || (dst[k] == dst[k-1] && dw[k] < dw[k-1])) {
 					sorted = false
@@ -268,7 +288,8 @@ func patchSide(nOld, n int, off []int64, ids []VertexID, ws []int32,
 				sort.Sort(adjSegment{ids: dst, ws: dw})
 			}
 			st.RowsRemapped++
-			st.EdgesRemapped += off[u+1] - off[u]
+			st.EdgesRemapped += rewritten
+			st.EdgesCopied += off[u+1] - off[u] - rewritten
 			continue
 		}
 		// Merge the dirty row: remap surviving neighbors through perm, drop

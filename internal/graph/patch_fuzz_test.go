@@ -13,6 +13,10 @@ func FuzzPatchEdgesPermN(f *testing.F) {
 	f.Add(uint8(1), uint8(1), []byte{0, 0, 0})
 	f.Add(uint8(31), uint8(7), []byte{0xff, 0x80, 0x40, 0x20, 0x10, 8, 4, 2, 1, 0})
 	f.Add(uint8(5), uint8(0), []byte{9, 9, 9, 9, 1, 2})
+	// Headroom-growth seeds: a zero mode byte after the edge stream selects
+	// the identity-outside-grown-segment injection.
+	f.Add(uint8(12), uint8(4), []byte{2, 1, 2, 3, 4, 0, 5, 6, 7, 8, 9})
+	f.Add(uint8(6), uint8(2), []byte{1, 3, 1, 2, 0, 4, 6, 1})
 	f.Fuzz(func(t *testing.T, nOldB, growB uint8, data []byte) {
 		next := byteStream(data)
 		nOld := 1 + int(nOldB%32)
@@ -39,22 +43,37 @@ func FuzzPatchEdgesPermN(f *testing.F) {
 			t.Fatalf("FromEdges on in-range inputs: %v", err)
 		}
 
-		// Injection: a growth shift with byte-chosen holes plus a few swaps,
-		// the shape repair + admission epochs produce.
-		holes := make([]VertexID, 0, growth)
-		used := make(map[VertexID]bool)
-		for len(holes) < growth {
-			h := VertexID(int(next()) % nNew)
-			for used[h] {
-				h = (h + 1) % VertexID(nNew)
+		// Injection shape: one in four inputs takes the headroom-growth form
+		// — old IDs untouched (identity prefix), admitted rows in reserved
+		// tail slots — which must hit the no-remap fast path. The rest is a
+		// growth shift with byte-chosen holes plus a few swaps, the shape
+		// pre-headroom repair + admission epochs produce.
+		identity := next()%4 == 0
+		var holes []VertexID
+		var perm []VertexID
+		if identity {
+			for h := nOld; h < nNew; h++ {
+				holes = append(holes, VertexID(h))
 			}
-			used[h] = true
-			holes = append(holes, h)
-		}
-		perm := growthInjection(nOld, nNew, holes)
-		for s := int(next()) % 4; s > 0; s-- {
-			a, b := int(next())%nOld, int(next())%nOld
-			perm[a], perm[b] = perm[b], perm[a]
+			perm = make([]VertexID, nOld)
+			for v := range perm {
+				perm[v] = VertexID(v)
+			}
+		} else {
+			used := make(map[VertexID]bool)
+			for len(holes) < growth {
+				h := VertexID(int(next()) % nNew)
+				for used[h] {
+					h = (h + 1) % VertexID(nNew)
+				}
+				used[h] = true
+				holes = append(holes, h)
+			}
+			perm = growthInjection(nOld, nNew, holes)
+			for s := int(next()) % 4; s > 0; s-- {
+				a, b := int(next())%nOld, int(next())%nOld
+				perm[a], perm[b] = perm[b], perm[a]
+			}
 		}
 
 		// Churn: delete live edges (named in new-ID space), add edges that
@@ -94,6 +113,9 @@ func FuzzPatchEdgesPermN(f *testing.F) {
 		}
 		if covered := st.EdgesCopied + st.EdgesMerged + st.EdgesRemapped; covered < patched.NumEdges() {
 			t.Fatalf("stats cover %d of %d edges", covered, patched.NumEdges())
+		}
+		if identity && st.EdgesRemapped != 0 {
+			t.Fatalf("identity injection remapped %d edges; the O(delta) fast path was skipped", st.EdgesRemapped)
 		}
 
 		// The validation surface: malformed injections must error out.

@@ -92,17 +92,23 @@ func New(g *graph.Graph, cfg Config) (*GraphGrind, error) {
 // placement did not change between the two graphs (perm == nil), or it
 // changed by a segment-local permutation perm (old ID → new ID, identity
 // outside the moved vertices) that kept every partition's vertex count —
-// and therefore the boundaries — fixed. With non-nil bounds (len(parts)+1
-// entries), the vertex space may additionally have grown: bounds are the
+// and therefore the boundaries — fixed. Headroom growth (dynamic.Graph
+// admitting vertices into reserved slots at a segment's tail) is the
+// bounds == nil, perm == nil case: the slot-space boundaries are constant
+// across the lineage and the admitted rows appear inside their partition's
+// fixed range, so only the grown partitions are dirty and the COO rewrite
+// is confined to them — every other partition shares its COO outright with
+// no remap pass. With non-nil bounds (len(parts)+1 entries), the vertex
+// space may additionally have grown with moved boundaries: bounds are the
 // new partition boundaries, perm is an injection of the old ID space into
-// [0, bounds[last]) (the segment-growth shape: a per-partition shift plus
-// swaps), and g has bounds[last] vertices. The caller must flag partitions
-// owning a moved or admitted vertex as dirty, and partitions whose COO
-// references a moved source vertex via srcMoved (nil = none). Dirty and
-// grown partitions are rebuilt from g; partitions that merely shifted or
-// hold stale source references are remapped — a linear copy with IDs
-// rewritten through perm — and everything else shares the previous epoch's
-// structures outright.
+// [0, bounds[last]) (the pre-headroom segment-growth shape: a
+// per-partition shift plus swaps), and g has bounds[last] vertices. The
+// caller must flag partitions owning a moved or admitted vertex as dirty,
+// and partitions whose COO references a moved source vertex via srcMoved
+// (nil = none). Dirty and grown partitions are rebuilt from g; partitions
+// that merely shifted or hold stale source references are remapped — a
+// linear copy with IDs rewritten through perm — and everything else shares
+// the previous epoch's structures outright.
 //
 // Remapped COOs keep their entry order, so a Hilbert- or CSR-ordered COO is
 // no longer strictly sorted at the handful of rewritten entries. Entry
@@ -152,7 +158,7 @@ func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, bounds []int6
 			continue
 		}
 		if perm != nil && (shifted || (srcMoved != nil && srcMoved(newLo, newHi))) {
-			c, ok := remapCOO(gg.coos[i], perm, int64(newLo)-int64(pt.Lo))
+			c, rewritten, ok := remapCOO(gg.coos[i], perm, int64(newLo)-int64(pt.Lo))
 			if !ok {
 				// A destination moved (or a vertex was admitted) inside a
 				// partition the caller claimed clean; rebuild defensively
@@ -165,7 +171,8 @@ func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, bounds []int6
 			parts[i] = partition.Partition{Lo: newLo, Hi: newHi, Edges: pt.Edges}
 			coos[i] = c
 			st.PartsRemapped++
-			st.EdgesRemapped += pt.Edges
+			st.EdgesRemapped += rewritten
+			st.EdgesReused += pt.Edges - rewritten
 			continue
 		}
 		parts[i] = pt
@@ -195,34 +202,49 @@ func (gg *GraphGrind) Patch(g *graph.Graph, perm []graph.VertexID, bounds []int6
 	}, st, nil
 }
 
-// remapCOO copies c with both endpoint IDs rewritten through perm. A clean
+// remapCOO copies c with stale endpoint IDs rewritten through perm. A clean
 // partition's in-edge content is unchanged, so its destinations must map
 // uniformly by the partition's shift delta (a swapped or admitted
 // destination would mean the content changed); ok=false reports a violation
-// so the caller can rebuild. Source vertices may move arbitrarily. The
-// weight array is shared with c, which is immutable; with a zero delta the
-// destination array is shared too.
-func remapCOO(c *layout.COO, perm []graph.VertexID, delta int64) (*layout.COO, bool) {
+// so the caller can rebuild. Source vertices may move arbitrarily.
+// rewritten counts the entries whose stored IDs actually changed — with a
+// zero delta that is only the entries referencing a moved source, and the
+// rewrite is restricted to them: identity entries block-copy, the
+// destination array is shared, and a COO with no stale entry at all is
+// shared outright without allocating. The weight array is always shared
+// with c, which is immutable.
+func remapCOO(c *layout.COO, perm []graph.VertexID, delta int64) (*layout.COO, int64, bool) {
 	for _, d := range c.Dst {
 		if int(d) >= len(perm) || int64(perm[d]) != int64(d)+delta {
-			return nil, false
+			return nil, 0, false
 		}
+	}
+	var stale int64
+	for _, s := range c.Src {
+		if int(s) >= len(perm) {
+			return nil, 0, false
+		}
+		if perm[s] != s {
+			stale++
+		}
+	}
+	if delta == 0 && stale == 0 {
+		return c, 0, true
 	}
 	src := make([]graph.VertexID, len(c.Src))
 	for i, s := range c.Src {
-		if int(s) >= len(perm) {
-			return nil, false
-		}
 		src[i] = perm[s]
 	}
 	dst := c.Dst
+	rewritten := stale
 	if delta != 0 {
 		dst = make([]graph.VertexID, len(c.Dst))
 		for i, d := range c.Dst {
 			dst[i] = graph.VertexID(int64(d) + delta)
 		}
+		rewritten = int64(len(c.Src))
 	}
-	return &layout.COO{Src: src, Dst: dst, Weight: c.Weight, Ordering: c.Ordering}, true
+	return &layout.COO{Src: src, Dst: dst, Weight: c.Weight, Ordering: c.Ordering}, rewritten, true
 }
 
 // Name implements Engine.

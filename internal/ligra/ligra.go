@@ -53,8 +53,11 @@ func New(g *graph.Graph, cfg Config) *Ligra {
 // graph pointer with fresh metrics, valid under any renumbering of the
 // vertex space: identical ordering, a segment-local permutation from a
 // placement-preserving repair, a full rebuild, or a grown vertex count
-// alike. Growth re-derives the scheduling units (an O(n/grain) range
-// split); everything else carries over.
+// alike. A changed vertex count re-derives the scheduling units (an
+// O(n/grain) range split); everything else carries over. Under headroom
+// growth the slot space — and with it the unit split — is constant across
+// a lineage, so admissions take the sharing path; the count only changes
+// at a relabeling spill, which rebuilds from scratch anyway.
 func (l *Ligra) Rebind(g *graph.Graph) *Ligra {
 	if g.NumVertices() != l.g.NumVertices() {
 		return New(g, l.cfg)

@@ -71,10 +71,14 @@ func New(g *graph.Graph, cfg Config) (*Polymer, error) {
 // same vertex count and the boundaries are unchanged: either the vertex
 // placement did not change (perm == nil), or it changed by a segment-local
 // permutation perm (old ID → new ID, identity outside the moved vertices)
-// that kept the boundaries fixed. With non-nil bounds (sockets+1 entries),
-// the vertex space may additionally have grown: bounds are the new socket
-// boundaries, perm is an injection of the old ID space into
-// [0, bounds[last]) and g has bounds[last] vertices. Polymer's
+// that kept the boundaries fixed. Headroom growth is the perm == nil case:
+// admitted vertices fill reserved slots inside their socket's fixed
+// capacity range, so only grown sockets are dirty and every other socket
+// reuses its sub-ranges with no sliding at all. With non-nil bounds
+// (sockets+1 entries), the vertex space may additionally have grown with
+// moved boundaries: bounds are the new socket boundaries, perm is an
+// injection of the old ID space into [0, bounds[last]) and g has
+// bounds[last] vertices. Polymer's
 // per-partition state — edge counts and thread sub-ranges — stores no
 // neighbor IDs, so a partition whose range merely shifted is remapped by
 // sliding its sub-ranges; a partition containing a moved or admitted vertex

@@ -408,7 +408,7 @@ func (v *View) refineMonotone(sys System, alg string, root VertexID, spec refine
 	if plan.Touched() > v.nverts/refineConeDenom {
 		return cold(RefineScratchFallback)
 	}
-	seed := permuteIn(v.ord.Perm, extendVals(cap_.vals, v.nverts, extendFill))
+	seed := permuteIn(v.ord.Perm, extendVals(cap_.vals, v.nverts, extendFill), v.slots())
 	st, ok := v.refineRelax(e, seed, plan, spec)
 	if !ok {
 		return cold(RefineScratchFallback)
@@ -463,7 +463,11 @@ func (v *View) RefineCC(sys System) ([]uint32, RefineStats, error) {
 	}
 	vals, st, err := v.refineMonotone(sys, "cc", 0, spec,
 		func(e Engine) []int64 {
-			init := make([]uint32, v.nverts)
+			// init spans the engine's slot space; reserved headroom slots
+			// seed with inv's zero entry, which is inert — they have no
+			// edges, so their label never propagates, and unpermute drops
+			// their state.
+			init := make([]uint32, v.slots())
 			for eng := range init {
 				init[eng] = uint32(inv[eng])
 			}
@@ -493,7 +497,7 @@ func (v *View) RefineSSSP(sys System, root VertexID) ([]int64, RefineStats, erro
 	vals, st, err := v.refineMonotone(sys, "sssp", root, spec,
 		func(e Engine) []int64 {
 			rg := e.Graph()
-			dist := make([]int64, v.nverts)
+			dist := make([]int64, v.slots())
 			for i := range dist {
 				dist[i] = algorithms.RelaxInf
 			}
@@ -537,7 +541,7 @@ func (v *View) RefinePageRank(sys System, eps float64) ([]float64, RefineStats, 
 		return nil, RefineStats{}, err
 	}
 	cold := func(path string) ([]float64, RefineStats, error) {
-		ranks := unpermute(v.ord.Perm, algorithms.PageRankDelta(e, prScratchIters, eps))
+		ranks := unpermute(v.ord.Perm, algorithms.PageRankDeltaN(e, prScratchIters, eps, v.nverts))
 		v.ref.put(key, &Refined{alg: "pagerank", epoch: v.epoch, n: v.nverts, ranks: ranks, eps: eps})
 		st := RefineStats{Path: path, SeedEpoch: -1}
 		v.work.observeRefine(v.epoch, "pagerank", sys, start, st)
@@ -573,9 +577,9 @@ func (v *View) RefinePageRank(sys System, eps float64) ([]float64, RefineStats, 
 	for o := cap_.n; o < v.nverts; o++ {
 		grown = append(grown, perm[o])
 	}
-	ranks := algorithms.PageRankResume(e, permuteIn(perm, seed),
+	ranks := algorithms.PageRankResume(e, permuteIn(perm, seed, v.slots()),
 		algorithms.RankDelta{Adds: plan.Adds, Dels: plan.Dels, OldOutDeg: odOld,
-			NOld: cap_.n, Grown: grown},
+			NOld: cap_.n, NNew: v.nverts, Grown: grown},
 		prScratchIters, eps)
 	out := unpermute(perm, ranks)
 	v.ref.put(key, &Refined{alg: "pagerank", epoch: v.epoch, n: v.nverts, ranks: out, eps: eps})

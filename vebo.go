@@ -269,6 +269,17 @@ type DynamicOptions struct {
 	// instead, which admits unseen vertices itself — the two admission
 	// paths cannot be mixed on one Dynamic (see IngestBatch).
 	AutoGrow bool
+	// MinHeadroom is the floor on the growth headroom reserved at each
+	// partition segment's tail whenever an ordering is (re)built while the
+	// graph is growing (default 4). Admissions fill these pre-reserved
+	// slots, so a growth epoch patches in O(delta); a relabeling epoch only
+	// happens when every segment's headroom is exhausted.
+	MinHeadroom int64
+	// HeadroomFrac is the proportional term of the headroom policy: each
+	// segment reserves max(MinHeadroom, frac·occupied) slots (default
+	// 0.125). Negative disables the proportional term, leaving the
+	// MinHeadroom floor only.
+	HeadroomFrac float64
 	// DisableSegmentResort turns off the background one-segment-per-batch
 	// re-sort that counters intra-segment locality decay under
 	// placement-preserving maintenance; see internal/dynamic.Config.
@@ -335,6 +346,8 @@ func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 		Repair:                   opts.Repair,
 		DisableAdaptiveThreshold: opts.DisableAdaptiveThreshold,
 		AutoGrow:                 opts.AutoGrow,
+		MinHeadroom:              opts.MinHeadroom,
+		HeadroomFrac:             opts.HeadroomFrac,
 		DisableSegmentResort:     opts.DisableSegmentResort,
 		Metrics:                  reg,
 		Tracer:                   tracer,
@@ -487,6 +500,12 @@ func (d *Dynamic) Ordering() *Result { return &Result{inner: d.inner.Ordering()}
 
 // Stats returns the accumulated maintenance work counters.
 func (d *Dynamic) Stats() DynamicStats { return d.inner.Stats() }
+
+// Headroom reports the growth headroom of the current ordering: the number
+// of free reserved slots across all partition segments and the total slot
+// capacity. Both are 0 until the first admission converts the lineage to a
+// slotted ordering (and transiently while an ordering rebuild is pending).
+func (d *Dynamic) Headroom() (free, capacity int64) { return d.inner.Headroom() }
 
 // Compact promotes the current snapshot to the new delta-log base.
 func (d *Dynamic) Compact() { d.inner.Compact() }

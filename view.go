@@ -435,26 +435,54 @@ func (v *View) Snapshot() *Graph {
 }
 
 // segPerm returns the segment-local injection mapping the basis view's
-// new-ID space into this view's (nil when nothing moved and nothing grew).
-// Without growth it is a permutation: identity everywhere except the
-// positions of delta.Moved vertices, whose IDs were exchanged by
-// placement-preserving swap repairs (or segment re-sorts). With growth it
-// additionally shifts every position by the number of segment slots
-// admitted before it, leaving the admitted vertices' positions without a
-// preimage. Valid only while the numbering lineage is intact
-// (!delta.PlacementChanged).
+// new-ID space into this view's, or nil for the identity. Growth alone no
+// longer produces an injection at all: within a numbering lineage the slot
+// space is fixed and admissions fill reserved headroom slots, so every
+// basis position keeps its ID — identity outside the grown segments, and
+// the identity on them too (admitted slots have no basis preimage; their
+// content arrives as explicit adds). Only placement-preserving moves (swap
+// repairs, rotations, segment re-sorts) yield a real map: identity
+// everywhere except the moved vertices' positions. Valid only while the
+// numbering lineage is intact (!delta.PlacementChanged).
 func (v *View) segPerm(b *View) []VertexID {
 	v.segOnce.Do(func() {
-		if len(v.delta.Moved) == 0 && v.nverts == b.nverts {
+		if len(v.delta.Moved) == 0 {
 			return
 		}
 		// Internal IDs are append-only, so the basis's internal space is
 		// exactly the prefix [0, b.nverts) of this view's; composing the
 		// two orderings over it yields the basis-position → this-position
-		// map directly.
-		seg := make([]VertexID, b.nverts)
+		// map directly. The map spans the basis engine's whole slot space:
+		// reserved-headroom holes carry empty rows but still need injective
+		// targets — identity where free (in-lineage moves only exchange
+		// occupied positions, so it always is), matched to leftover free
+		// slots otherwise.
+		bSlots := int(b.ord.Slots())
+		vSlots := int(v.ord.Slots())
+		seg := make([]VertexID, bSlots)
+		src := make([]bool, bSlots)
+		taken := make([]bool, vSlots)
 		for w := 0; w < b.nverts; w++ {
-			seg[b.ord.Perm[w]] = v.ord.Perm[w]
+			s, t := b.ord.Perm[w], v.ord.Perm[w]
+			seg[s] = t
+			src[s] = true
+			taken[t] = true
+		}
+		free := 0
+		for s := 0; s < bSlots; s++ {
+			if src[s] {
+				continue
+			}
+			if s < vSlots && !taken[s] {
+				seg[s] = VertexID(s)
+				taken[s] = true
+				continue
+			}
+			for taken[free] {
+				free++
+			}
+			seg[s] = VertexID(free)
+			taken[free] = true
 		}
 		v.seg = seg
 	})
@@ -476,7 +504,7 @@ func (v *View) Reordered() (*Graph, error) {
 				perm := v.ord.Perm
 				mapEndpoints(adds, perm)
 				mapEndpoints(dels, perm)
-				rg, st, err := brg.PatchEdgesPermN(v.nverts, adds, dels, v.segPerm(b))
+				rg, st, err := brg.PatchEdgesPermN(v.slots(), adds, dels, v.segPerm(b))
 				if err == nil {
 					v.work.graphPatches.Add(1)
 					v.work.patchedEdges.Add(st.EdgesMerged)
@@ -585,14 +613,11 @@ func (v *View) dirtyPredicate() func(lo, hi VertexID) bool {
 // (GraphGrind's COOs) hold stale references and must be remapped through
 // the segment permutation. The set is the destinations of the moved
 // vertices' current out-edges; edges they lost since the basis appear in
-// the net delta and dirty their destinations through dirtyPredicate. When
-// the vertex space grew, every segment after the first grown one shifted,
-// so any partition may hold stale source IDs: the predicate goes
-// conservative (always true) and clean partitions take the linear remap.
+// the net delta and dirty their destinations through dirtyPredicate.
+// Growth does not enter: admissions fill reserved headroom slots, so no
+// pre-existing source ID ever shifts — a grown epoch without repairs leaves
+// this set empty and every clean partition's COO is shared outright.
 func (v *View) srcMovedPredicate(rg *Graph) func(lo, hi VertexID) bool {
-	if v.delta.GrownTotal() > 0 {
-		return func(lo, hi VertexID) bool { return true }
-	}
 	v.srcOnce.Do(func() {
 		if len(v.delta.Moved) == 0 {
 			return
@@ -697,17 +722,14 @@ func (v *View) buildEngine(sys System) (Engine, error) {
 
 // patchEngine derives this view's engine from the basis view b's by
 // rebuilding only dirty partitions, remapping partitions whose stored
-// source IDs moved (or whose ranges shifted after growth), and sharing the
-// rest. Grown epochs hand the engines the new partition boundaries so the
-// segment shifts are applied structurally. Reports ok=false to fall back to
-// a scratch build.
+// source IDs moved, and sharing the rest. Partition boundaries are always
+// passed as nil ("unchanged"): within a numbering lineage the slot space is
+// fixed — admissions fill reserved headroom slots inside existing segment
+// boundaries — so the engines share ranges and partition lookup tables
+// outright even across grown epochs, and only a spill (which breaks the
+// lineage and forces scratch builds) ever changes the boundaries. Reports
+// ok=false to fall back to a scratch build.
 func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine, bool) {
-	// nil bounds = "boundaries unchanged", the no-growth fast path that
-	// shares ranges and partition lookup tables outright.
-	var bounds []int64
-	if v.delta.GrownTotal() > 0 {
-		bounds = v.ord.Boundaries()
-	}
 	switch sys {
 	case Ligra:
 		le, ok := base.(*ligra.Ligra)
@@ -715,8 +737,9 @@ func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine,
 			return nil, false
 		}
 		// Ligra has no partitioned state: reuse the relabeled graph and the
-		// vertex-count-derived scheduling units as-is (growth re-derives
-		// the units from the new vertex count inside Rebind).
+		// vertex-count-derived scheduling units as-is (the slot space is
+		// constant within a lineage, so Rebind reuses the units even across
+		// grown epochs).
 		v.work.enginePatches.Add(1)
 		v.work.reusedEdges.Add(rg.NumEdges())
 		return le.Rebind(rg), true
@@ -725,10 +748,7 @@ func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine,
 		if !ok {
 			return nil, false
 		}
-		if bounds != nil {
-			bounds = core.CoarsenBounds(bounds, v.opts.topology().Sockets)
-		}
-		e, st, err := pe.Patch(rg, v.segPerm(b), bounds, v.dirtyPredicate())
+		e, st, err := pe.Patch(rg, v.segPerm(b), nil, v.dirtyPredicate())
 		if err != nil {
 			return nil, false
 		}
@@ -739,7 +759,7 @@ func (v *View) patchEngine(sys System, b *View, base Engine, rg *Graph) (Engine,
 		if !ok {
 			return nil, false
 		}
-		e, st, err := ge.Patch(rg, v.segPerm(b), bounds, v.dirtyPredicate(), v.srcMovedPredicate(rg))
+		e, st, err := ge.Patch(rg, v.segPerm(b), nil, v.dirtyPredicate(), v.srcMovedPredicate(rg))
 		if err != nil {
 			return nil, false
 		}
@@ -788,10 +808,18 @@ func (v *View) cooOrder() layout.Order {
 	return layout.CSROrder
 }
 
-// invPerm returns the new-ID → original-ID permutation, computed once.
+// slots returns the size of the view's engine vertex space: the slot count
+// of its (possibly slotted) ordering, ≥ nverts. Engine-space arrays are
+// sized by it; original-ID arrays by nverts.
+func (v *View) slots() int { return int(v.ord.Slots()) }
+
+// invPerm returns the new-ID → original-ID map, computed once. Reserved
+// headroom slots have no original vertex; their entries are zero and must
+// not be consulted (algorithm results at hole positions are dropped by
+// unpermute before any inv lookup).
 func (v *View) invPerm() []VertexID {
 	v.invOnce.Do(func() {
-		v.inv = make([]VertexID, len(v.ord.Perm))
+		v.inv = make([]VertexID, v.slots())
 		for old, nw := range v.ord.Perm {
 			v.inv[nw] = VertexID(old)
 		}
@@ -806,18 +834,22 @@ func (v *View) checkRoot(root VertexID) error {
 	return nil
 }
 
-// unpermute reindexes an engine-space value array back to original IDs.
+// unpermute reindexes an engine-space value array back to original IDs. The
+// result has one entry per original vertex (len(perm)); values at reserved
+// headroom slots — engine positions with no original vertex — are dropped.
 func unpermute[T any](perm []VertexID, res []T) []T {
-	out := make([]T, len(res))
+	out := make([]T, len(perm))
 	for old, nw := range perm {
 		out[old] = res[nw]
 	}
 	return out
 }
 
-// permuteIn reindexes an original-ID value array into engine space.
-func permuteIn[T any](perm []VertexID, xs []T) []T {
-	out := make([]T, len(xs))
+// permuteIn reindexes an original-ID value array into an engine space of n
+// positions (≥ len(xs) on slotted orderings). Reserved headroom slots take
+// the zero value; callers for whom zero is not inert must overwrite them.
+func permuteIn[T any](perm []VertexID, xs []T, n int) []T {
+	out := make([]T, n)
 	for old, nw := range perm {
 		out[nw] = xs[old]
 	}
@@ -832,7 +864,7 @@ func (v *View) PageRank(sys System, iters int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	ranks := unpermute(v.ord.Perm, algorithms.PageRank(e, iters))
+	ranks := unpermute(v.ord.Perm, algorithms.PageRankN(e, iters, v.nverts))
 	v.work.observeQuery("pagerank", sys, start)
 	return ranks, nil
 }
@@ -845,7 +877,7 @@ func (v *View) PageRankDelta(sys System, iters int, eps float64) ([]float64, err
 	if err != nil {
 		return nil, err
 	}
-	ranks := unpermute(v.ord.Perm, algorithms.PageRankDelta(e, iters, eps))
+	ranks := unpermute(v.ord.Perm, algorithms.PageRankDeltaN(e, iters, eps, v.nverts))
 	v.work.observeQuery("pagerankdelta", sys, start)
 	return ranks, nil
 }
@@ -901,7 +933,7 @@ func (v *View) SPMV(sys System, x []float64) ([]float64, error) {
 	if len(x) != v.nverts {
 		return nil, fmt.Errorf("vebo: SPMV input length %d != n %d", len(x), v.nverts)
 	}
-	y := unpermute(v.ord.Perm, algorithms.SPMV(e, permuteIn(v.ord.Perm, x)))
+	y := unpermute(v.ord.Perm, algorithms.SPMV(e, permuteIn(v.ord.Perm, x, v.slots())))
 	v.work.observeQuery("spmv", sys, start)
 	return y, nil
 }
@@ -954,7 +986,7 @@ func (v *View) BP(sys System, iters int, prior []float64) ([]float64, error) {
 	if len(prior) != v.nverts {
 		return nil, fmt.Errorf("vebo: BP prior length %d != n %d", len(prior), v.nverts)
 	}
-	beliefs := unpermute(v.ord.Perm, algorithms.BP(e, iters, permuteIn(v.ord.Perm, prior)))
+	beliefs := unpermute(v.ord.Perm, algorithms.BP(e, iters, permuteIn(v.ord.Perm, prior, v.slots())))
 	v.work.observeQuery("bp", sys, start)
 	return beliefs, nil
 }
