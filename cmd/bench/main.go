@@ -35,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: small graphs, few streaming batches, and fail on gate regressions (view work ratio ≤ 1×, refine speedup ≤ 1×)")
 	wall := flag.Bool("wall", false, "shorthand for -exp wall: measure real ingest/query latency (p50/p95/p99) instead of modeled work")
 	jsonDir := flag.String("json", "", "directory receiving BENCH_<experiment>.json reports (empty: no JSON)")
+	baseline := flag.String("baseline", "", "directory of recorded BENCH_*.json baselines (e.g. bench-records/): after the run, compare the -json reports against them (tolerances.json honored) and exit 1 on regressions; use -exp none to compare without re-running")
 	flag.Parse()
 
 	if *wall {
@@ -67,8 +68,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := bench.Run(*exp, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+	// -exp none skips the experiments: with -baseline it turns the
+	// invocation into a pure comparison of already-emitted reports (the CI
+	// bench-regression step, run after the quick experiments filled -json).
+	if *exp != "none" {
+		if err := bench.Run(*exp, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *baseline != "" {
+		if *jsonDir == "" {
+			fmt.Fprintln(os.Stderr, "bench: -baseline requires -json (the directory holding the current reports)")
+			os.Exit(1)
+		}
+		rep, err := bench.CompareBaseline(*jsonDir, *baseline, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if rep.Regressions > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d metric(s) regressed beyond tolerance against %s\n",
+				rep.Regressions, *baseline)
+			os.Exit(1)
+		}
 	}
 }

@@ -227,7 +227,7 @@ func runServe(args []string) error {
 			return fmt.Errorf("serve: -http listen: %w", lerr)
 		}
 		mux := http.NewServeMux()
-		obs.Register(mux, d.Metrics(), d.Trace())
+		obs.Register(mux, d.Metrics(), d.Trace(), d.Spans())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -236,7 +236,7 @@ func runServe(args []string) error {
 		srv := &http.Server{Handler: mux}
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics (and /metrics.json, /trace, /debug/pprof)\n", ln.Addr())
+		fmt.Printf("observability: http://%s/metrics (and /metrics.json, /trace, /spans, /debug/pprof)\n", ln.Addr())
 	}
 
 	// Graceful shutdown: SIGINT/SIGTERM stops the ingest loop at the next
@@ -290,6 +290,8 @@ func runServe(args []string) error {
 	if *statsEvery > 0 {
 		reg := d.Metrics()
 		qh := reg.Histogram("vebo_query_ns", "alg", *alg, "sys", sys.String())
+		ageH := reg.Histogram("vebo_epoch_age_ns")
+		lagH := reg.Histogram("vebo_publish_lag_ns")
 		go func() {
 			t := time.NewTicker(*statsEvery)
 			defer t.Stop()
@@ -302,16 +304,19 @@ func runServe(args []string) error {
 					for p := 0; p < *parts; p++ {
 						hrFree += reg.Gauge("vebo_headroom_slots", "partition", strconv.Itoa(p)).Value()
 					}
-					fmt.Printf("[stats] epoch=%d edges=%d Δ=%d pending=%d hr_free=%d spills=%d served=%d q_p50=%v q_p99=%v\n",
+					fmt.Printf("[stats] epoch=%d edges=%d Δ=%d pending=%d hr_free=%d spills=%d backlog=%d served=%d q_p50=%v q_p99=%v age_p99=%v lag_p99=%v\n",
 						reg.Gauge("vebo_epoch").Value(),
 						reg.Gauge("vebo_live_edges").Value(),
 						reg.Gauge("vebo_edge_imbalance").Value(),
 						reg.Gauge("vebo_pending_ops").Value(),
 						hrFree,
 						reg.Counter("vebo_headroom_spill_total").Value(),
+						reg.Gauge("vebo_delta_backlog").Value(),
 						queries.Load(),
 						time.Duration(qh.Quantile(0.50)).Round(time.Microsecond),
-						time.Duration(qh.Quantile(0.99)).Round(time.Microsecond))
+						time.Duration(qh.Quantile(0.99)).Round(time.Microsecond),
+						time.Duration(ageH.Quantile(0.99)).Round(time.Microsecond),
+						time.Duration(lagH.Quantile(0.99)).Round(time.Microsecond))
 				}
 			}
 		}()
@@ -385,6 +390,12 @@ func runServe(args []string) error {
 	}
 	edge, vert := d.Imbalance()
 	fmt.Printf("final Δ(n)=%d δ(n)=%d over %d partitions\n", edge, vert, *parts)
+	reg := d.Metrics()
+	fmt.Printf("staleness: epoch age p50=%v p99=%v, publish lag p99=%v, delta backlog=%d\n",
+		time.Duration(reg.Histogram("vebo_epoch_age_ns").Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(reg.Histogram("vebo_epoch_age_ns").Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(reg.Histogram("vebo_publish_lag_ns").Quantile(0.99)).Round(time.Microsecond),
+		reg.Gauge("vebo_delta_backlog").Value())
 
 	// On interrupt, flush the complete final state so a scrape-free run still
 	// leaves a machine-readable record of where the pipeline stopped.

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	vebo "repro"
@@ -98,13 +100,26 @@ func Wall(cfg Config) error {
 		}
 	}
 
+	// The staleness plane: vebo_epoch_age_ns sampled per query (how old the
+	// queried epoch was) and vebo_publish_lag_ns sampled per publish (batch
+	// receipt → view publication). Reported as series like any latency so
+	// the p99s land in the table, the JSON report and the CI gates.
+	ageH := reg.Histogram("vebo_epoch_age_ns")
+	lagH := reg.Histogram("vebo_publish_lag_ns")
+	series = append(series,
+		seriesFromHistogram("staleness", "epoch_age", "", ageH, 0),
+		seriesFromHistogram("staleness", "publish_lag", "", lagH, 0))
+
 	fmt.Fprintf(w, "%-8s %-10s %-11s %8s %10s %10s %10s %10s\n",
 		"op", "alg", "system", "count", "ops/s", "p50_ms", "p99_ms", "mean_ms")
 	gates := make([]Gate, 0, len(series))
 	for _, s := range series {
 		name := s.Op
 		if s.Alg != "" {
-			name += ":" + s.Alg + ":" + s.System
+			name += ":" + s.Alg
+			if s.System != "" {
+				name += ":" + s.System
+			}
 		}
 		fmt.Fprintf(w, "%-8s %-10s %-11s %8d %10.1f %10.3f %10.3f %10.3f\n",
 			s.Op, orDash(s.Alg), orDash(s.System), s.Count, s.OpsPerSec, s.P50Ms, s.P99Ms, s.MeanMs)
@@ -113,8 +128,14 @@ func Wall(cfg Config) error {
 		})
 	}
 	work := d.ViewWork()
-	fmt.Fprintf(w, "wall ingest: %v total; engines: %d built, %d patched over %d epochs\n\n",
+	fmt.Fprintf(w, "wall ingest: %v total; engines: %d built, %d patched over %d epochs\n",
 		ingestElapsed.Round(time.Millisecond), work.EngineBuilds, work.EnginePatches, work.Epochs)
+	fmt.Fprintf(w, "staleness: vebo_epoch_age_ns p99=%v (p50=%v over %d query samples), vebo_publish_lag_ns p99=%v, vebo_delta_backlog=%d\n\n",
+		time.Duration(ageH.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(ageH.Quantile(0.50)).Round(time.Microsecond),
+		ageH.Count(),
+		time.Duration(lagH.Quantile(0.99)).Round(time.Microsecond),
+		reg.Gauge("vebo_delta_backlog").Value())
 
 	report := Report{
 		Experiment: "wall",
@@ -129,6 +150,24 @@ func Wall(cfg Config) error {
 	}
 	if err := writeReport(cfg, report); err != nil {
 		return err
+	}
+	// Export the run's causal spans as a Chrome trace next to the JSON
+	// report (CI uploads both): every ingest batch, maintenance step,
+	// publish and query of the run, Perfetto-viewable.
+	if cfg.JSONDir != "" {
+		path := filepath.Join(cfg.JSONDir, "BENCH_wall_trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("wall: writing %s: %w", path, err)
+		}
+		werr := d.Spans().WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("wall: writing %s: %w", path, werr)
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
 	}
 	if cfg.Quick {
 		for _, gt := range gates {

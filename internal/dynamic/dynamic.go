@@ -162,6 +162,12 @@ type Config struct {
 	// wall-clock duration alongside the modeled work counts. Nil disables
 	// tracing.
 	Tracer *obs.Tracer
+	// Spans, when set, receives causal spans for the same lifecycle steps:
+	// each batch opens an "ingest" span, maintenance work (repair, rebuild,
+	// grow, spill, resort, compact) files child spans of the batch that
+	// triggered it, and the facade layer parents publish and query spans
+	// onto the batch chain (LastBatchSpan). Nil disables span collection.
+	Spans *obs.Spans
 }
 
 // DefaultPartitions is the default VEBO partition count for dynamic graphs,
@@ -400,6 +406,14 @@ type Graph struct {
 	// lifecycle tracer (nil-tolerant itself).
 	m  dynMetrics
 	tr *obs.Tracer
+
+	// sp collects causal spans (nil-tolerant); curBatch is the in-flight
+	// batch span maintenance steps parent onto, lastBatch the context of the
+	// most recently finished one — the causal anchor the facade's publish
+	// span links to. Both are writer-side state like everything above.
+	sp        *obs.Spans
+	curBatch  *obs.ActiveSpan
+	lastBatch obs.SpanContext
 }
 
 // New wraps g in a dynamic graph, computing the initial VEBO ordering.
@@ -434,6 +448,7 @@ func New(g *graph.Graph, cfg Config) (*Graph, error) {
 	d.snapCache, d.snapEpoch = g, 0
 	d.m = newDynMetrics(cfg.Metrics, cfg.Partitions)
 	d.tr = cfg.Tracer
+	d.sp = cfg.Spans
 	d.tr.Emit(obs.Event{Kind: "graph", Cause: "build", N: map[string]int64{
 		"vertices": int64(d.n), "edges": d.liveEdges, "partitions": int64(cfg.Partitions)}})
 	d.syncGauges()
@@ -565,6 +580,11 @@ func (d *Graph) normWeight(w int32) int32 {
 // like any applied update even if a later update aborts the batch.
 func (d *Graph) ApplyBatch(updates []graph.EdgeUpdate) (BatchResult, error) {
 	start := time.Now()
+	// The batch span is the causal root of this epoch: maintenance spans
+	// (repair, rebuild, grow, spill) file as its children, and the facade's
+	// publish span links to it via LastBatchSpan. finishBatch ends it on
+	// every return path, error or not.
+	d.curBatch = d.sp.Start("batch", "ingest", d.epoch, obs.SpanContext{})
 	var res BatchResult
 	if d.cfg.AutoGrow {
 		// Admit for the whole batch up front: one Grow call claims headroom
@@ -694,6 +714,11 @@ func (d *Graph) finishBatch(res BatchResult, start time.Time) BatchResult {
 		d.m.repairs.Inc()
 		d.m.repairNS.Observe(int64(rdur))
 		res.Repaired = true
+		d.sp.Record(obs.Span{
+			Parent: d.curBatch.Context().ID, Name: "repair", Kind: "maintain",
+			Cause: "threshold-trip", Epoch: d.epoch, Start: rstart, Dur: rdur,
+			Attrs: map[string]int64{"swaps": swaps, "rotations": rots, "stalled": b2i(stalled)},
+		})
 		d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "repair", Cause: "threshold-trip", Dur: rdur,
 			N: map[string]int64{
 				"delta_before": preDelta, "delta_after": d.EdgeImbalance(),
@@ -719,6 +744,11 @@ func (d *Graph) finishBatch(res BatchResult, start time.Time) BatchResult {
 			ctr.Inc()
 			d.m.rebuildNS.Observe(int64(bdur))
 			res.Rebuilt = true
+			d.sp.Record(obs.Span{
+				Parent: d.curBatch.Context().ID, Name: "rebuild", Kind: "maintain",
+				Cause: cause, Epoch: d.epoch, Start: bstart, Dur: bdur,
+				Attrs: map[string]int64{"placements": int64(d.n)},
+			})
 			d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "rebuild", Cause: cause, Dur: bdur,
 				N: map[string]int64{
 					"placements":   int64(d.n),
@@ -734,12 +764,22 @@ func (d *Graph) finishBatch(res BatchResult, start time.Time) BatchResult {
 	// re-established the order everywhere.
 	if !res.Rebuilt && d.cfg.Repair == RepairPreserve && !d.cfg.DisableSegmentResort &&
 		(d.resortPending || d.stats.Swaps+d.stats.Rotations > preMoves) {
+		sstart := time.Now()
 		d.resortSegment()
+		d.sp.Record(obs.Span{
+			Parent: d.curBatch.Context().ID, Name: "resort", Kind: "maintain",
+			Epoch: d.epoch, Start: sstart, Dur: time.Since(sstart),
+		})
 	}
 	d.resortPending = false
 	if d.PendingOps() >= d.compactBound() {
+		cstart := time.Now()
 		d.Compact()
 		res.Compacted = true
+		d.sp.Record(obs.Span{
+			Parent: d.curBatch.Context().ID, Name: "compact", Kind: "maintain",
+			Epoch: d.epoch, Start: cstart, Dur: time.Since(cstart),
+		})
 	}
 	res.EdgeImbalance = d.EdgeImbalance()
 	res.VertexImbalance = d.VertexImbalance()
@@ -752,9 +792,22 @@ func (d *Graph) finishBatch(res BatchResult, start time.Time) BatchResult {
 			"repaired": b2i(res.Repaired), "rebuilt": b2i(res.Rebuilt),
 			"compacted": b2i(res.Compacted),
 		}})
+	// Close out the epoch's causal root. The post-batch epoch is what views
+	// of this batch will be pinned to, so the span settles there.
+	d.curBatch.SetEpoch(d.epoch).
+		Attr("applied", int64(res.Applied)).Attr("admitted", int64(res.Admitted)).
+		Attr("repaired", b2i(res.Repaired)).Attr("rebuilt", b2i(res.Rebuilt)).
+		End()
+	d.lastBatch = d.curBatch.Context()
+	d.curBatch = nil
 	d.syncGauges()
 	return res
 }
+
+// LastBatchSpan returns the causal context of the most recently finished
+// batch span (the zero context before any batch, or without a Spans
+// collector). The facade parents each epoch's publish span onto it.
+func (d *Graph) LastBatchSpan() obs.SpanContext { return d.lastBatch }
 
 // Grow admits count new zero-degree vertices, returning the first new
 // internal ID (they are assigned densely: first, first+1, …). Each admitted
@@ -836,6 +889,11 @@ func (d *Graph) Grow(count int) graph.VertexID {
 	d.tr.Emit(obs.Event{Epoch: d.epoch, Kind: "grow", Cause: cause, Dur: time.Since(gstart),
 		N: map[string]int64{"admitted": int64(count), "vertices": int64(d.n),
 			"spills": spills, "headroom_free": free}})
+	d.sp.Record(obs.Span{
+		Parent: d.curBatch.Context().ID, Name: "grow", Kind: "maintain",
+		Cause: cause, Epoch: d.epoch, Start: gstart, Dur: time.Since(gstart),
+		Attrs: map[string]int64{"admitted": int64(count), "spills": spills, "headroom_free": free},
+	})
 	d.syncGauges()
 	return first
 }
@@ -867,12 +925,19 @@ func (d *Graph) admitTarget() int {
 // admitTarget succeeds. Called on the first growth of a lineage and on
 // headroom exhaustion; only the latter counts as a spill.
 func (d *Graph) spillRelabel() {
-	if d.segCap != nil {
+	spill := d.segCap != nil
+	if spill {
 		d.stats.HeadroomSpills++
 		d.m.headroomSpills.Inc()
 	}
+	sstart := time.Now()
 	d.placementChanged()
 	d.ensureOrdering()
+	d.sp.Record(obs.Span{
+		Parent: d.curBatch.Context().ID, Name: "spill", Kind: "maintain",
+		Cause: map[bool]string{true: "headroom-exhausted", false: "first-growth"}[spill],
+		Epoch: d.epoch, Start: sstart, Dur: time.Since(sstart),
+	})
 }
 
 // Headroom reports the admission headroom of the cached slotted ordering:

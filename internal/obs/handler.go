@@ -7,14 +7,21 @@ import "net/http"
 //	/metrics      — Prometheus text exposition of the registry
 //	/metrics.json — the same registry as a JSON array
 //	/trace        — the tracer's retained events as JSON
+//	/spans        — the causal span ring as Chrome Trace Event JSON
+//	                (load in Perfetto or chrome://tracing)
 //
-// Either argument may be nil (the endpoint then renders empty).
-func Register(mux *http.ServeMux, r *Registry, t *Tracer) {
+// Any argument may be nil (the endpoint then renders empty). A
+// RuntimeSampler is attached to r: each /metrics and /metrics.json scrape
+// refreshes the go_* process-health series before rendering.
+func Register(mux *http.ServeMux, r *Registry, t *Tracer, s *Spans) {
+	rt := NewRuntimeSampler(r)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		rt.Sample()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		rt.Sample()
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
@@ -22,11 +29,15 @@ func Register(mux *http.ServeMux, r *Registry, t *Tracer) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = t.WriteJSON(w)
 	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.WriteChromeTrace(w)
+	})
 }
 
 // Handler returns an http.Handler serving the Register endpoints.
-func Handler(r *Registry, t *Tracer) http.Handler {
+func Handler(r *Registry, t *Tracer, s *Spans) http.Handler {
 	mux := http.NewServeMux()
-	Register(mux, r, t)
+	Register(mux, r, t, s)
 	return mux
 }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RuntimeSampler syncs Go process health into a Registry: goroutine count,
+// heap bytes, GC cycle count as gauges, and per-cycle GC pause durations
+// into a histogram. Sample is cheap enough to run on every /metrics scrape
+// (one ReadMemStats), which is where Register wires it — serve exposes
+// process health without a sidecar exporter. Nil-safe like every obs
+// handle.
+type RuntimeSampler struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gcCycles   *Gauge
+	gcPause    *Histogram
+
+	mu sync.Mutex
+	//vebo:guardedby mu
+	lastGC uint32 // NumGC at the previous Sample; pauses since then are new
+}
+
+// NewRuntimeSampler registers the go_* runtime series on r and returns the
+// sampler that refreshes them.
+func NewRuntimeSampler(r *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		goroutines: r.Gauge("go_goroutines"),
+		heapAlloc:  r.Gauge("go_heap_alloc_bytes"),
+		heapSys:    r.Gauge("go_heap_sys_bytes"),
+		gcCycles:   r.Gauge("go_gc_cycles"),
+		gcPause:    r.Histogram("go_gc_pause_ns"),
+	}
+}
+
+// Sample refreshes the runtime gauges and observes the pause of every GC
+// cycle completed since the previous call (up to the depth of the
+// runtime's 256-entry circular pause buffer).
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(int64(ms.HeapAlloc))
+	s.heapSys.Set(int64(ms.HeapSys))
+	s.gcCycles.Set(int64(ms.NumGC))
+
+	s.mu.Lock()
+	last := s.lastGC
+	s.lastGC = ms.NumGC
+	s.mu.Unlock()
+	n := ms.NumGC - last
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		s.gcPause.Observe(int64(ms.PauseNs[(ms.NumGC-1-i)%uint32(len(ms.PauseNs))]))
+	}
+}

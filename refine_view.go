@@ -153,17 +153,28 @@ const prScratchIters = 400
 const DefaultRefineEps = 1e-9
 
 // observeRefine records one Refine* query: per-(alg, path) counters, a
-// per-(alg, sys) latency histogram and a "refine" trace event.
-func (w *viewWork) observeRefine(epoch int64, alg string, sys System, start time.Time, st RefineStats) {
+// per-(alg, sys) latency histogram, a "refine" trace event, a staleness
+// sample, and a "query" span child-linked to the publish span of v's epoch
+// whose cause names the answer path (cached/scratch-seed/refined/
+// scratch-fallback).
+func (w *viewWork) observeRefine(v *View, alg string, sys System, start time.Time, st RefineStats) {
+	since := time.Since(start)
 	w.reg.Counter("vebo_refine_total", "alg", alg, "path", st.Path).Inc()
-	w.reg.Histogram("vebo_refine_ns", "alg", alg, "sys", sys.String()).ObserveSince(start)
+	w.reg.Histogram("vebo_refine_ns", "alg", alg, "sys", sys.String()).Observe(int64(since))
 	w.reg.Counter("vebo_refine_vertices_total", "kind", "reset").Add(int64(st.ResetVertices))
 	w.reg.Counter("vebo_refine_vertices_total", "kind", "frontier").Add(int64(st.FrontierVertices))
-	w.tr.Emit(obs.Event{Epoch: epoch, Kind: "refine", Cause: st.Path, Sys: sys.String(),
-		Dur: time.Since(start), N: map[string]int64{
+	w.epochAge.Observe(int64(time.Since(v.published)))
+	w.tr.Emit(obs.Event{Epoch: v.epoch, Kind: "refine", Cause: st.Path, Sys: sys.String(),
+		Dur: since, N: map[string]int64{
 			"reset": int64(st.ResetVertices), "frontier": int64(st.FrontierVertices),
 			"seed_epoch": st.SeedEpoch,
 		}})
+	w.sp.Record(obs.Span{
+		Parent: v.pubSpan.ID, Name: "query:refine-" + alg, Kind: "query", Cause: st.Path,
+		Sys: sys.String(), Epoch: v.epoch, Start: start, Dur: since,
+		Attrs: map[string]int64{"reset": int64(st.ResetVertices),
+			"frontier": int64(st.FrontierVertices), "seed_epoch": st.SeedEpoch},
+	})
 }
 
 // extendVals copies a basis result array into this view's (longer or equal)
@@ -379,7 +390,7 @@ func (v *View) refineMonotone(sys System, alg string, root VertexID, spec refine
 	key := refineKey{alg: alg, root: root}
 	if r := v.ref.get(key); r != nil {
 		st := RefineStats{Path: RefineCached, SeedEpoch: r.epoch}
-		v.work.observeRefine(v.epoch, alg, sys, start, st)
+		v.work.observeRefine(v, alg, sys, start, st)
 		return r.vals, st, nil
 	}
 	e, err := v.Engine(sys)
@@ -390,7 +401,7 @@ func (v *View) refineMonotone(sys System, alg string, root VertexID, spec refine
 		vals := unpermute(v.ord.Perm, scratch(e))
 		v.ref.put(key, &Refined{alg: alg, root: root, epoch: v.epoch, n: v.nverts, vals: vals})
 		st := RefineStats{Path: path, SeedEpoch: -1}
-		v.work.observeRefine(v.epoch, alg, sys, start, st)
+		v.work.observeRefine(v, alg, sys, start, st)
 		return vals, st, nil
 	}
 	cap_ := v.basisCapture(key)
@@ -402,7 +413,7 @@ func (v *View) refineMonotone(sys System, alg string, root VertexID, spec refine
 		r := &Refined{alg: alg, root: root, epoch: v.epoch, n: v.nverts, vals: cap_.vals}
 		v.ref.put(key, r)
 		st := RefineStats{Path: RefineRefined, SeedEpoch: cap_.epoch}
-		v.work.observeRefine(v.epoch, alg, sys, start, st)
+		v.work.observeRefine(v, alg, sys, start, st)
 		return r.vals, st, nil
 	}
 	if plan.Touched() > v.nverts/refineConeDenom {
@@ -416,7 +427,7 @@ func (v *View) refineMonotone(sys System, alg string, root VertexID, spec refine
 	vals := unpermute(v.ord.Perm, seed)
 	v.ref.put(key, &Refined{alg: alg, root: root, epoch: v.epoch, n: v.nverts, vals: vals})
 	st.SeedEpoch = cap_.epoch
-	v.work.observeRefine(v.epoch, alg, sys, start, st)
+	v.work.observeRefine(v, alg, sys, start, st)
 	return vals, st, nil
 }
 
@@ -533,7 +544,7 @@ func (v *View) RefinePageRank(sys System, eps float64) ([]float64, RefineStats, 
 	key := refineKey{alg: "pagerank"}
 	if r := v.ref.get(key); r != nil && r.eps <= eps {
 		st := RefineStats{Path: RefineCached, SeedEpoch: r.epoch}
-		v.work.observeRefine(v.epoch, "pagerank", sys, start, st)
+		v.work.observeRefine(v, "pagerank", sys, start, st)
 		return r.ranks, st, nil
 	}
 	e, err := v.Engine(sys)
@@ -544,7 +555,7 @@ func (v *View) RefinePageRank(sys System, eps float64) ([]float64, RefineStats, 
 		ranks := unpermute(v.ord.Perm, algorithms.PageRankDeltaN(e, prScratchIters, eps, v.nverts))
 		v.ref.put(key, &Refined{alg: "pagerank", epoch: v.epoch, n: v.nverts, ranks: ranks, eps: eps})
 		st := RefineStats{Path: path, SeedEpoch: -1}
-		v.work.observeRefine(v.epoch, "pagerank", sys, start, st)
+		v.work.observeRefine(v, "pagerank", sys, start, st)
 		return ranks, st, nil
 	}
 	cap_ := v.basisCapture(key)
@@ -556,7 +567,7 @@ func (v *View) RefinePageRank(sys System, eps float64) ([]float64, RefineStats, 
 		r := &Refined{alg: "pagerank", epoch: v.epoch, n: v.nverts, ranks: cap_.ranks, eps: cap_.eps}
 		v.ref.put(key, r)
 		st := RefineStats{Path: RefineRefined, SeedEpoch: cap_.epoch}
-		v.work.observeRefine(v.epoch, "pagerank", sys, start, st)
+		v.work.observeRefine(v, "pagerank", sys, start, st)
 		return r.ranks, st, nil
 	}
 	touched := plan.Touched()
@@ -584,6 +595,6 @@ func (v *View) RefinePageRank(sys System, eps float64) ([]float64, RefineStats, 
 	out := unpermute(perm, ranks)
 	v.ref.put(key, &Refined{alg: "pagerank", epoch: v.epoch, n: v.nverts, ranks: out, eps: eps})
 	st := RefineStats{Path: RefineRefined, SeedEpoch: cap_.epoch, FrontierVertices: touched}
-	v.work.observeRefine(v.epoch, "pagerank", sys, start, st)
+	v.work.observeRefine(v, "pagerank", sys, start, st)
 	return out, st, nil
 }

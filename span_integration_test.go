@@ -1,0 +1,189 @@
+package vebo
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// applyStream pushes updates through ApplyBatch in fixed-size batches.
+func applyStream(t *testing.T, d *Dynamic, updates []EdgeUpdate, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(updates); lo += batch {
+		hi := min(lo+batch, len(updates))
+		if _, err := d.ApplyBatch(updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuerySpansLinkToPublish is the causality acceptance check: every query
+// span in the collector parent-links to the publish span of the epoch it
+// read, and every publish span (after the first) parent-links to the ingest
+// batch that produced its epoch.
+func TestQuerySpansLinkToPublish(t *testing.T) {
+	g, updates, err := gen.StreamFromRecipe("powerlaw", 0.05, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, 128)
+
+	v := d.View()
+	if _, err := v.BFS(Ligra, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.PageRank(GraphGrind, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.RefineBFS(Ligra, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	byID := make(map[obs.SpanID]obs.Span)
+	var queries, publishes, batches int
+	for _, sp := range d.Spans().Snapshot() {
+		byID[sp.ID] = sp
+		switch sp.Kind {
+		case "query":
+			queries++
+		case "publish":
+			publishes++
+		case "ingest":
+			batches++
+		}
+	}
+	if queries < 3 || publishes == 0 || batches == 0 {
+		t.Fatalf("span mix too thin: %d queries, %d publishes, %d batches", queries, publishes, batches)
+	}
+
+	for _, sp := range byID {
+		switch sp.Kind {
+		case "query", "build":
+			if sp.Parent == 0 {
+				t.Fatalf("%s span %q has no parent link", sp.Kind, sp.Name)
+			}
+			parent, ok := byID[sp.Parent]
+			if !ok {
+				t.Fatalf("%s span %q parent %d not retained", sp.Kind, sp.Name, sp.Parent)
+			}
+			if parent.Kind != "publish" {
+				t.Errorf("%s span %q parents a %q span, want publish", sp.Kind, sp.Name, parent.Kind)
+			}
+			if parent.Epoch != sp.Epoch {
+				t.Errorf("%s span %q epoch %d != publish epoch %d", sp.Kind, sp.Name, sp.Epoch, parent.Epoch)
+			}
+		case "publish":
+			// All but the initial epoch-0 publish chain back to a batch.
+			if sp.Parent == 0 {
+				if sp.Epoch != 0 {
+					t.Errorf("publish of epoch %d has no batch parent", sp.Epoch)
+				}
+				continue
+			}
+			parent, ok := byID[sp.Parent]
+			if !ok {
+				t.Fatalf("publish span parent %d not retained", sp.Parent)
+			}
+			if parent.Kind != "ingest" {
+				t.Errorf("publish parents a %q span, want ingest", parent.Kind)
+			}
+		case "maintain":
+			if sp.Parent == 0 {
+				t.Errorf("maintain span %q (cause %q) has no batch parent", sp.Name, sp.Cause)
+			}
+		}
+	}
+}
+
+// TestEpochAgeGrowsBetweenPublishes is the staleness regression test:
+// vebo_epoch_age_ns samples grow monotonically while no new epoch is
+// published, then drop once a fresh view supersedes the stale one.
+func TestEpochAgeGrowsBetweenPublishes(t *testing.T) {
+	g, updates, err := gen.StreamFromRecipe("powerlaw", 0.05, 256, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates[:128], 128)
+
+	ageH := d.Metrics().Histogram("vebo_epoch_age_ns")
+	sample := func() int64 {
+		prevSum, prevCount := ageH.Sum(), ageH.Count()
+		if _, err := d.View().BFS(Ligra, 0); err != nil {
+			t.Fatal(err)
+		}
+		if ageH.Count() != prevCount+1 {
+			t.Fatalf("query did not observe epoch age: count %d -> %d", prevCount, ageH.Count())
+		}
+		return ageH.Sum() - prevSum
+	}
+
+	age1 := sample()
+	time.Sleep(20 * time.Millisecond)
+	age2 := sample()
+	if age2 <= age1 {
+		t.Fatalf("epoch age not monotonic against a stale view: %v then %v",
+			time.Duration(age1), time.Duration(age2))
+	}
+
+	// A new publish resets the clock: the very next query reads a younger
+	// view than the stale sample above.
+	applyStream(t, d, updates[128:], 128)
+	age3 := sample()
+	if age3 >= age2 {
+		t.Fatalf("epoch age did not drop after a fresh publish: %v then %v",
+			time.Duration(age2), time.Duration(age3))
+	}
+	if d.Metrics().Histogram("vebo_publish_lag_ns").Count() == 0 {
+		t.Fatal("vebo_publish_lag_ns never observed a publish")
+	}
+}
+
+// TestSpansEndpoint serves /spans off the obs handler and checks the export
+// is a loadable Chrome trace carrying the run's spans, and that the runtime
+// sampler feeds go_* series into /metrics on scrape.
+func TestSpansEndpoint(t *testing.T) {
+	g, updates, err := gen.StreamFromRecipe("powerlaw", 0.05, 256, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, DynamicOptions{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, d, updates, 128)
+	if _, err := d.View().BFS(Ligra, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(d.ObsHandler())
+	defer srv.Close()
+
+	trace := scrape(t, srv.URL, "/spans")
+	for _, want := range []string{`"traceEvents"`, `"recordedSpans"`, `"publish"`, `"query:bfs"`, `"thread_name"`} {
+		if !strings.Contains(trace, want) {
+			t.Fatalf("/spans export missing %s:\n%.2000s", want, trace)
+		}
+	}
+
+	metrics := scrape(t, srv.URL, "/metrics")
+	for _, name := range []string{"go_goroutines ", "go_heap_alloc_bytes ", "vebo_epoch_age_ns_count", "vebo_publish_lag_ns_count", "vebo_delta_backlog "} {
+		if !strings.Contains(metrics, name) {
+			t.Fatalf("/metrics scrape missing %q", name)
+		}
+	}
+	if metricValue(t, metrics, "go_goroutines") <= 0 {
+		t.Fatal("go_goroutines not sampled on scrape")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
@@ -298,6 +299,12 @@ type DynamicOptions struct {
 	// registry are always on — both are lock-free atomics on the hot paths —
 	// and reachable via Metrics, Trace and ObsHandler.
 	TraceCapacity int
+	// SpanCapacity sizes the causal span ring (number of retained spans;
+	// default obs.DefaultSpanCapacity). Spans link each query to the publish
+	// span of the epoch it read and each maintenance step to the batch that
+	// triggered it; reachable via Spans and exported as Chrome Trace Event
+	// JSON on the /spans endpoint of ObsHandler and serve -http.
+	SpanCapacity int
 }
 
 // Dynamic is a mutable graph whose VEBO ordering is maintained incrementally
@@ -314,6 +321,7 @@ type Dynamic struct {
 	work    *viewWork
 	reg     *obs.Registry
 	tracer  *obs.Tracer
+	spans   *obs.Spans
 	cur     atomic.Pointer[View]
 
 	// Writer-side basis tracking (see publish in view.go): the delta
@@ -338,6 +346,7 @@ type Dynamic struct {
 func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(opts.TraceCapacity)
+	spans := obs.NewSpans(opts.SpanCapacity)
 	inner, err := dynamic.New(g, dynamic.Config{
 		Partitions:               opts.Partitions,
 		RebuildThreshold:         opts.RebuildThreshold,
@@ -351,6 +360,7 @@ func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 		DisableSegmentResort:     opts.DisableSegmentResort,
 		Metrics:                  reg,
 		Tracer:                   tracer,
+		Spans:                    spans,
 	})
 	if err != nil {
 		return nil, err
@@ -359,11 +369,12 @@ func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
 		inner:   inner,
 		engOpts: opts.Engine,
 		reuse:   !opts.DisableViewReuse,
-		work:    newViewWork(reg, tracer),
+		work:    newViewWork(reg, tracer, spans),
 		reg:     reg,
 		tracer:  tracer,
+		spans:   spans,
 	}
-	d.publish()
+	d.publish(time.Now())
 	return d, nil
 }
 
@@ -377,6 +388,14 @@ type Tracer = obs.Tracer
 // TraceEvent re-exports one structured epoch-lifecycle trace event.
 type TraceEvent = obs.Event
 
+// SpanCollector re-exports the causal span ring: completed spans linking
+// each query to the publish span of the epoch it read, and each
+// maintenance step to the batch that caused it. See internal/obs.Spans.
+type SpanCollector = obs.Spans
+
+// SpanEvent re-exports one completed causal span.
+type SpanEvent = obs.Span
+
 // Metrics returns the graph's metrics registry: every vebo_* counter, gauge
 // and latency histogram the ingest, maintenance, view and query layers emit.
 // Safe from any goroutine.
@@ -388,16 +407,25 @@ func (d *Dynamic) Metrics() *MetricsRegistry { return d.reg }
 // patched vs rebuilt). Safe from any goroutine.
 func (d *Dynamic) Trace() *Tracer { return d.tracer }
 
+// Spans returns the causal span ring. Every batch, maintenance step,
+// publish and query files a span; parent links encode the causality
+// (batch → repair/rebuild/grow → publish → query). Safe from any
+// goroutine; export via SpanCollector.WriteChromeTrace or the /spans
+// endpoint.
+func (d *Dynamic) Spans() *SpanCollector { return d.spans }
+
 // ObsHandler returns an http.Handler serving /metrics (Prometheus text),
-// /metrics.json and /trace for this graph.
-func (d *Dynamic) ObsHandler() http.Handler { return obs.Handler(d.reg, d.tracer) }
+// /metrics.json, /trace and /spans (Chrome Trace Event JSON) for this
+// graph.
+func (d *Dynamic) ObsHandler() http.Handler { return obs.Handler(d.reg, d.tracer, d.spans) }
 
 // ApplyBatch applies the updates in order, runs the threshold-gated
 // incremental ordering maintenance at the end of the batch, and publishes a
 // fresh View of the post-batch epoch. Single-writer.
 func (d *Dynamic) ApplyBatch(updates []EdgeUpdate) (DynamicBatchResult, error) {
+	received := time.Now()
 	res, err := d.inner.ApplyBatch(updates)
-	d.publish()
+	d.publish(received)
 	return res, err
 }
 
@@ -434,6 +462,7 @@ type ExternalEdgeUpdate struct {
 // external ingest has begun, an IngestBatch that finds such vertices
 // returns an error without applying anything.
 func (d *Dynamic) IngestBatch(updates []ExternalEdgeUpdate) (DynamicBatchResult, error) {
+	received := time.Now()
 	alloc := d.alloc.Load()
 	if alloc == nil {
 		alloc = dynamic.NewAllocator()
@@ -473,7 +502,7 @@ func (d *Dynamic) IngestBatch(updates []ExternalEdgeUpdate) (DynamicBatchResult,
 	}
 	res, err := d.inner.ApplyBatch(ups)
 	res.Admitted += admitted
-	d.publish()
+	d.publish(received)
 	if err == nil {
 		err = ingestErr
 	}

@@ -55,7 +55,9 @@ type View struct {
 	basis      atomic.Pointer[View] // materialized view at the anchor point; nil forces scratch builds
 	d          *Dynamic
 	work       *viewWork
-	ref        *refineCache // lineage-keyed Refined captures (refine_view.go)
+	ref        *refineCache    // lineage-keyed Refined captures (refine_view.go)
+	published  time.Time       // publication instant — the base of the staleness clock
+	pubSpan    obs.SpanContext // the publish span queries child-link their spans to
 
 	snapOnce sync.Once
 	snapP    atomic.Pointer[Graph]
@@ -109,6 +111,16 @@ func (s *engineSlot) peek() Engine {
 type viewWork struct {
 	reg *obs.Registry
 	tr  *obs.Tracer
+	sp  *obs.Spans
+
+	// The staleness plane (DESIGN.md §6): epochAge samples, at query time,
+	// how old the queried view's epoch is (vebo_epoch_age_ns); publishLag
+	// measures batch receipt → view publication (vebo_publish_lag_ns);
+	// backlog gauges the delta the newest view carries over its basis
+	// (vebo_delta_backlog).
+	epochAge   *obs.Histogram
+	publishLag *obs.Histogram
+	backlog    *obs.Gauge
 
 	epochs        *obs.Counter
 	graphBuilds   *obs.Counter
@@ -126,10 +138,14 @@ type viewWork struct {
 
 // newViewWork wires the work counters into reg (nil-tolerant: a nil registry
 // yields no-op handles, a nil tracer drops events).
-func newViewWork(reg *obs.Registry, tr *obs.Tracer) *viewWork {
+func newViewWork(reg *obs.Registry, tr *obs.Tracer, sp *obs.Spans) *viewWork {
 	return &viewWork{
 		reg:           reg,
 		tr:            tr,
+		sp:            sp,
+		epochAge:      reg.Histogram("vebo_epoch_age_ns"),
+		publishLag:    reg.Histogram("vebo_publish_lag_ns"),
+		backlog:       reg.Gauge("vebo_delta_backlog"),
 		epochs:        reg.Counter("vebo_view_epochs_total"),
 		graphBuilds:   reg.Counter("vebo_view_graph_total", "path", "build"),
 		graphPatches:  reg.Counter("vebo_view_graph_total", "path", "patch"),
@@ -145,29 +161,50 @@ func newViewWork(reg *obs.Registry, tr *obs.Tracer) *viewWork {
 	}
 }
 
-// observeQuery records one algorithm run: a per-(alg, sys) latency histogram
-// sample (vebo_query_ns) and count (vebo_queries_total). The measured span is
-// the whole user-visible call, including any lazy engine build it triggered.
-func (w *viewWork) observeQuery(alg string, sys System, start time.Time) {
-	w.reg.Histogram("vebo_query_ns", "alg", alg, "sys", sys.String()).ObserveSince(start)
+// observeQuery records one algorithm run against v: a per-(alg, sys)
+// latency histogram sample (vebo_query_ns) and count (vebo_queries_total),
+// a staleness sample (vebo_epoch_age_ns — how old v's epoch was when this
+// query read it), and a "query" span child-linked to the publish span of
+// v's epoch carrying {alg, sys, path, epoch}. The measured span is the
+// whole user-visible call, including any lazy engine build it triggered;
+// path distinguishes full runs from the refine answer paths.
+func (w *viewWork) observeQuery(v *View, alg, path string, sys System, start time.Time) {
+	since := time.Since(start)
+	w.reg.Histogram("vebo_query_ns", "alg", alg, "sys", sys.String()).Observe(int64(since))
 	w.reg.Counter("vebo_queries_total", "alg", alg, "sys", sys.String()).Inc()
+	w.epochAge.Observe(int64(time.Since(v.published)))
+	w.sp.Record(obs.Span{
+		Parent: v.pubSpan.ID, Name: "query:" + alg, Kind: "query", Cause: path,
+		Sys: sys.String(), Epoch: v.epoch, Start: start, Dur: since,
+	})
 }
 
 // emitGraph records one snapshot/relabeled-graph materialization decision:
-// the per-cause latency histogram sample and a "graph" trace event.
-func (w *viewWork) emitGraph(epoch int64, cause string, start time.Time, touched, reused int64) {
+// the per-cause latency histogram sample, a "graph" trace event, and a
+// "build" span child-linked to v's publish span.
+func (w *viewWork) emitGraph(v *View, cause string, start time.Time, touched, reused int64) {
 	w.reg.Histogram("vebo_graph_build_ns", "cause", cause).ObserveSince(start)
-	w.tr.Emit(obs.Event{Epoch: epoch, Kind: "graph", Cause: cause, Dur: time.Since(start),
+	w.tr.Emit(obs.Event{Epoch: v.epoch, Kind: "graph", Cause: cause, Dur: time.Since(start),
 		N: map[string]int64{"edges_touched": touched, "edges_reused": reused}})
+	w.sp.Record(obs.Span{
+		Parent: v.pubSpan.ID, Name: "graph", Kind: "build", Cause: cause,
+		Epoch: v.epoch, Start: start, Dur: time.Since(start),
+		Attrs: map[string]int64{"edges_touched": touched, "edges_reused": reused},
+	})
 }
 
 // emitEngine records one engine construction decision ("patch"/"rebind"
-// versus "build"): the per-(mode, sys) latency histogram sample and an
-// "engine" trace event.
-func (w *viewWork) emitEngine(epoch int64, cause string, sys System, start time.Time) {
+// versus "build"): the per-(mode, sys) latency histogram sample, an
+// "engine" trace event, and a "build" span child-linked to v's publish
+// span.
+func (w *viewWork) emitEngine(v *View, cause string, sys System, start time.Time) {
 	w.reg.Histogram("vebo_engine_build_ns", "mode", cause, "sys", sys.String()).ObserveSince(start)
-	w.tr.Emit(obs.Event{Epoch: epoch, Kind: "engine", Cause: cause, Sys: sys.String(),
+	w.tr.Emit(obs.Event{Epoch: v.epoch, Kind: "engine", Cause: cause, Sys: sys.String(),
 		Dur: time.Since(start)})
+	w.sp.Record(obs.Span{
+		Parent: v.pubSpan.ID, Name: "engine", Kind: "build", Cause: cause,
+		Sys: sys.String(), Epoch: v.epoch, Start: start, Dur: time.Since(start),
+	})
 }
 
 // ViewWork is a snapshot of the engine-construction work a Dynamic's views
@@ -236,7 +273,7 @@ func (d *Dynamic) ViewWork() ViewWork { return d.work.snapshot() }
 // (frozenwrite enforces that): the returned value is fully initialized
 // before publish stores it, and nothing mutates it afterwards outside the
 // once-guarded lazy caches.
-func (d *Dynamic) buildView(basis *View) *View {
+func (d *Dynamic) buildView(basis *View, pub obs.SpanContext) *View {
 	v := &View{
 		epoch:      d.inner.Epoch(),
 		renumEpoch: d.inner.RenumEpoch(),
@@ -250,6 +287,8 @@ func (d *Dynamic) buildView(basis *View) *View {
 		d:          d,
 		work:       d.work,
 		ref:        newRefineCache(),
+		published:  time.Now(),
+		pubSpan:    pub,
 	}
 	if alloc := d.alloc.Load(); alloc != nil {
 		v.exts = alloc.Externals(v.nverts)
@@ -258,7 +297,15 @@ func (d *Dynamic) buildView(basis *View) *View {
 	return v
 }
 
-func (d *Dynamic) publish() {
+// publish's received argument is the wall-clock instant the triggering
+// batch was handed to the facade (ApplyBatch/IngestBatch entry); the gap
+// to view publication is the vebo_publish_lag_ns sample — the freshness
+// cost one batch pays end to end.
+func (d *Dynamic) publish(received time.Time) {
+	// The publish span parents onto the batch span that produced this
+	// epoch, extending the causal chain batch → maintenance → publish;
+	// queries against the view then child-link to the publish span.
+	psp := d.spans.Start("publish", "publish", d.inner.Epoch(), d.inner.LastBatchSpan())
 	drained := d.inner.DrainViewDelta()
 	var basis *View
 	if d.reuse {
@@ -303,19 +350,25 @@ func (d *Dynamic) publish() {
 			basis = d.basisView
 		}
 	}
-	v := d.buildView(basis)
+	v := d.buildView(basis, psp.Context())
 	d.work.epochs.Add(1)
 	d.cur.Store(v)
+	lag := time.Since(received)
+	d.work.publishLag.Observe(int64(lag))
+	backlog := int64(len(v.delta.Net)) + int64(len(v.delta.Moved)) + v.delta.GrownTotal()
+	d.work.backlog.Set(backlog)
 	basisEpoch := int64(-1)
 	if basis != nil {
 		basisEpoch = basis.epoch
 	}
-	d.work.tr.Emit(obs.Event{Epoch: v.epoch, Kind: "publish",
+	d.work.tr.Emit(obs.Event{Epoch: v.epoch, Kind: "publish", Dur: lag,
 		N: map[string]int64{
 			"renum_epoch": v.renumEpoch, "basis_epoch": basisEpoch,
 			"delta_net": int64(len(v.delta.Net)), "delta_moved": int64(len(v.delta.Moved)),
 			"delta_grown": v.delta.GrownTotal(),
 		}})
+	psp.Attr("basis_epoch", basisEpoch).Attr("delta_backlog", backlog).
+		Attr("publish_lag_ns", int64(lag)).End()
 }
 
 // registerMaterialized below and the basis tracking in publish treat a view
@@ -417,7 +470,7 @@ func (v *View) Snapshot() *Graph {
 					v.work.relabelEdges.Add(st.EdgesRemapped)
 					v.work.reusedEdges.Add(st.EdgesCopied)
 					v.snapP.Store(s)
-					v.work.emitGraph(v.epoch, "snapshot-patch", start, st.EdgesMerged, st.EdgesCopied)
+					v.work.emitGraph(v, "snapshot-patch", start, st.EdgesMerged, st.EdgesCopied)
 					return
 				}
 				// Unreachable for deltas recorded by the dynamic subsystem;
@@ -427,7 +480,7 @@ func (v *View) Snapshot() *Graph {
 		v.snapP.Store(v.frozen.Materialize())
 		v.work.rebuildEdges.Add(v.frozen.NumEdges())
 		v.work.graphBuilds.Add(1)
-		v.work.emitGraph(v.epoch, "snapshot-build", start, v.frozen.NumEdges(), 0)
+		v.work.emitGraph(v, "snapshot-build", start, v.frozen.NumEdges(), 0)
 	})
 	snap := v.snapP.Load()
 	v.d.registerMaterialized(v)
@@ -511,7 +564,7 @@ func (v *View) Reordered() (*Graph, error) {
 					v.work.relabelEdges.Add(st.EdgesRemapped)
 					v.work.reusedEdges.Add(st.EdgesCopied)
 					v.rgp.Store(rg)
-					v.work.emitGraph(v.epoch, "reorder-patch", start, st.EdgesMerged, st.EdgesCopied)
+					v.work.emitGraph(v, "reorder-patch", start, st.EdgesMerged, st.EdgesCopied)
 					return
 				}
 				// Unreachable for deltas recorded by the dynamic subsystem;
@@ -526,7 +579,7 @@ func (v *View) Reordered() (*Graph, error) {
 		v.work.graphBuilds.Add(1)
 		v.work.rebuildEdges.Add(rg.NumEdges())
 		v.rgp.Store(rg)
-		v.work.emitGraph(v.epoch, "reorder-build", start, rg.NumEdges(), 0)
+		v.work.emitGraph(v, "reorder-build", start, rg.NumEdges(), 0)
 	})
 	if rg := v.rgp.Load(); rg != nil {
 		v.d.registerMaterialized(v)
@@ -692,13 +745,13 @@ func (v *View) buildEngine(sys System) (Engine, error) {
 				if sys == Ligra {
 					cause = "rebind"
 				}
-				v.work.emitEngine(v.epoch, cause, sys, start)
+				v.work.emitEngine(v, cause, sys, start)
 				return e, nil
 			}
 		}
 	}
 	ecfg := engine.Config{Topology: v.opts.topology()}
-	defer v.work.emitEngine(v.epoch, "build", sys, start)
+	defer v.work.emitEngine(v, "build", sys, start)
 	switch sys {
 	case Ligra:
 		v.work.engineBuilds.Add(1)
@@ -865,7 +918,7 @@ func (v *View) PageRank(sys System, iters int) ([]float64, error) {
 		return nil, err
 	}
 	ranks := unpermute(v.ord.Perm, algorithms.PageRankN(e, iters, v.nverts))
-	v.work.observeQuery("pagerank", sys, start)
+	v.work.observeQuery(v, "pagerank", "full", sys, start)
 	return ranks, nil
 }
 
@@ -878,7 +931,7 @@ func (v *View) PageRankDelta(sys System, iters int, eps float64) ([]float64, err
 		return nil, err
 	}
 	ranks := unpermute(v.ord.Perm, algorithms.PageRankDeltaN(e, iters, eps, v.nverts))
-	v.work.observeQuery("pagerankdelta", sys, start)
+	v.work.observeQuery(v, "pagerankdelta", "full", sys, start)
 	return ranks, nil
 }
 
@@ -900,7 +953,7 @@ func (v *View) BFS(sys System, root VertexID) ([]int32, error) {
 			parents[i] = int32(inv[p])
 		}
 	}
-	v.work.observeQuery("bfs", sys, start)
+	v.work.observeQuery(v, "bfs", "full", sys, start)
 	return parents, nil
 }
 
@@ -918,7 +971,7 @@ func (v *View) CC(sys System) ([]uint32, error) {
 	for i, l := range labels {
 		labels[i] = inv[l]
 	}
-	v.work.observeQuery("cc", sys, start)
+	v.work.observeQuery(v, "cc", "full", sys, start)
 	return labels, nil
 }
 
@@ -934,7 +987,7 @@ func (v *View) SPMV(sys System, x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("vebo: SPMV input length %d != n %d", len(x), v.nverts)
 	}
 	y := unpermute(v.ord.Perm, algorithms.SPMV(e, permuteIn(v.ord.Perm, x, v.slots())))
-	v.work.observeQuery("spmv", sys, start)
+	v.work.observeQuery(v, "spmv", "full", sys, start)
 	return y, nil
 }
 
@@ -950,7 +1003,7 @@ func (v *View) BellmanFord(sys System, root VertexID) ([]int64, error) {
 		return nil, err
 	}
 	dists := unpermute(v.ord.Perm, algorithms.BellmanFord(e, v.ord.Perm[root]))
-	v.work.observeQuery("bellmanford", sys, start)
+	v.work.observeQuery(v, "bellmanford", "full", sys, start)
 	return dists, nil
 }
 
@@ -971,7 +1024,7 @@ func (v *View) BC(sys System, root VertexID) ([]float64, error) {
 		return nil, err
 	}
 	scores := unpermute(v.ord.Perm, algorithms.BC(e, eT, v.ord.Perm[root]))
-	v.work.observeQuery("bc", sys, start)
+	v.work.observeQuery(v, "bc", "full", sys, start)
 	return scores, nil
 }
 
@@ -987,6 +1040,6 @@ func (v *View) BP(sys System, iters int, prior []float64) ([]float64, error) {
 		return nil, fmt.Errorf("vebo: BP prior length %d != n %d", len(prior), v.nverts)
 	}
 	beliefs := unpermute(v.ord.Perm, algorithms.BP(e, iters, permuteIn(v.ord.Perm, prior, v.slots())))
-	v.work.observeQuery("bp", sys, start)
+	v.work.observeQuery(v, "bp", "full", sys, start)
 	return beliefs, nil
 }
